@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Equation (1) (Energy breakeven).
+
+pytest-benchmark target for the `eq1` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_eq01(benchmark):
+    result = benchmark(run, "eq1", quick=True)
+    assert result.experiment_id == "eq1"
+    assert result.tables

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the eDRAM-placement extension study."""
+
+from repro.experiments import run
+
+
+def test_bench_ext01(benchmark):
+    result = benchmark(run, "ext1", quick=True)
+    assert result.experiment_id == "ext1"
+    assert result.tables

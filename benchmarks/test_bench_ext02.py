@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the OS OPM-sharing extension study."""
+
+from repro.experiments import run
+
+
+def test_bench_ext02(benchmark):
+    result = benchmark(run, "ext2", quick=True)
+    assert result.experiment_id == "ext2"
+    assert result.tables

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the page-table-in-OPM extension study."""
+
+from repro.experiments import run
+
+
+def test_bench_ext03(benchmark):
+    result = benchmark(run, "ext3", quick=True)
+    assert result.experiment_id == "ext3"
+    assert result.tables

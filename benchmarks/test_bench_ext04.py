@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the prefetcher-coverage extension study."""
+
+from repro.experiments import run
+
+
+def test_bench_ext04(benchmark):
+    result = benchmark(run, "ext4", quick=True)
+    assert result.experiment_id == "ext4"
+    assert result.tables

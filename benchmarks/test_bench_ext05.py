@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the sync-free-scheduling extension study."""
+
+from repro.experiments import run
+
+
+def test_bench_ext05(benchmark):
+    result = benchmark(run, "ext5", quick=True)
+    assert result.experiment_id == "ext5"
+    assert result.tables

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the virtualization extension study."""
+
+from repro.experiments import run
+
+
+def test_bench_ext06(benchmark):
+    result = benchmark(run, "ext6", quick=True)
+    assert result.experiment_id == "ext6"
+    assert result.tables

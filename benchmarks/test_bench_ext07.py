@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the cluster-modes extension study."""
+
+from repro.experiments import run
+
+
+def test_bench_ext07(benchmark):
+    result = benchmark(run, "ext7", quick=True)
+    assert result.experiment_id == "ext7"
+    assert result.tables

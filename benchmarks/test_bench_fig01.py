@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 1 (PDF of achievable GEMM performance).
+
+pytest-benchmark target for the `fig1` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig01(benchmark):
+    result = benchmark(run, "fig1", quick=True)
+    assert result.experiment_id == "fig1"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 4 (Arithmetic intensity spectrum).
+
+pytest-benchmark target for the `fig4` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig04(benchmark):
+    result = benchmark(run, "fig4", quick=True)
+    assert result.experiment_id == "fig4"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (Rooflines with and without OPM).
+
+pytest-benchmark target for the `fig5` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig05(benchmark):
+    result = benchmark(run, "fig5", quick=True)
+    assert result.experiment_id == "fig5"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 6 (Stepping model).
+
+pytest-benchmark target for the `fig6` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig06(benchmark):
+    result = benchmark(run, "fig6", quick=True)
+    assert result.experiment_id == "fig6"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 7 (GEMM on Broadwell).
+
+pytest-benchmark target for the `fig7` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig07(benchmark):
+    result = benchmark(run, "fig7", quick=True)
+    assert result.experiment_id == "fig7"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 8 (Cholesky on Broadwell).
+
+pytest-benchmark target for the `fig8` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig08(benchmark):
+    result = benchmark(run, "fig8", quick=True)
+    assert result.experiment_id == "fig8"
+    assert result.tables

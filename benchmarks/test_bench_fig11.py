@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 11 (SpTRSV on Broadwell).
+
+pytest-benchmark target for the `fig11` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark(run, "fig11", quick=True)
+    assert result.experiment_id == "fig11"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 12 (Stream on Broadwell).
+
+pytest-benchmark target for the `fig12` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig12(benchmark):
+    result = benchmark(run, "fig12", quick=True)
+    assert result.experiment_id == "fig12"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 16 (Cholesky on KNL).
+
+pytest-benchmark target for the `fig16` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig16(benchmark):
+    result = benchmark(run, "fig16", quick=True)
+    assert result.experiment_id == "fig16"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 17 (SpMV on KNL).
+
+pytest-benchmark target for the `fig17` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig17(benchmark):
+    result = benchmark(run, "fig17", quick=True)
+    assert result.experiment_id == "fig17"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 19 (SpTRSV on KNL).
+
+pytest-benchmark target for the `fig19` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig19(benchmark):
+    result = benchmark(run, "fig19", quick=True)
+    assert result.experiment_id == "fig19"
+    assert result.tables

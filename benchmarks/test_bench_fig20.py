@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 20 (SpMV structure impact on KNL).
+
+pytest-benchmark target for the `fig20` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig20(benchmark):
+    result = benchmark(run, "fig20", quick=True)
+    assert result.experiment_id == "fig20"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 21 (SpTRANS structure impact on KNL).
+
+pytest-benchmark target for the `fig21` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig21(benchmark):
+    result = benchmark(run, "fig21", quick=True)
+    assert result.experiment_id == "fig21"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 22 (SpTRSV structure impact on KNL).
+
+pytest-benchmark target for the `fig22` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig22(benchmark):
+    result = benchmark(run, "fig22", quick=True)
+    assert result.experiment_id == "fig22"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 24 (Stencil on KNL).
+
+pytest-benchmark target for the `fig24` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig24(benchmark):
+    result = benchmark(run, "fig24", quick=True)
+    assert result.experiment_id == "fig24"
+    assert result.tables

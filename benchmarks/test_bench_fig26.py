@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 26 (Broadwell power).
+
+pytest-benchmark target for the `fig26` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig26(benchmark):
+    result = benchmark(run, "fig26", quick=True)
+    assert result.experiment_id == "fig26"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 27 (KNL power).
+
+pytest-benchmark target for the `fig27` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig27(benchmark):
+    result = benchmark(run, "fig27", quick=True)
+    assert result.experiment_id == "fig27"
+    assert result.tables

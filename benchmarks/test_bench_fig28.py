@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 28 (eDRAM tuning guideline).
+
+pytest-benchmark target for the `fig28` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig28(benchmark):
+    result = benchmark(run, "fig28", quick=True)
+    assert result.experiment_id == "fig28"
+    assert result.tables

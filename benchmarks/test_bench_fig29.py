@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 29 (MCDRAM tuning guideline).
+
+pytest-benchmark target for the `fig29` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig29(benchmark):
+    result = benchmark(run, "fig29", quick=True)
+    assert result.experiment_id == "fig29"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 30 (OPM hardware tuning).
+
+pytest-benchmark target for the `fig30` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_fig30(benchmark):
+    result = benchmark(run, "fig30", quick=True)
+    assert result.experiment_id == "fig30"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 2 (Kernel characteristics).
+
+pytest-benchmark target for the `table2` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_table02(benchmark):
+    result = benchmark(run, "table2", quick=True)
+    assert result.experiment_id == "table2"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 3 (Platform configuration).
+
+pytest-benchmark target for the `table3` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_table03(benchmark):
+    result = benchmark(run, "table3", quick=True)
+    assert result.experiment_id == "table3"
+    assert result.tables

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 4 (eDRAM summary statistics).
+
+pytest-benchmark target for the `table4` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_table04(benchmark):
+    result = benchmark(run, "table4", quick=True)
+    assert result.experiment_id == "table4"
+    assert result.tables

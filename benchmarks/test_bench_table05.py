@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 5 (MCDRAM summary statistics).
+
+pytest-benchmark target for the `table5` experiment (quick sweep). The
+benchmark asserts the qualitative claim the paper artifact makes before
+timing the regeneration, so a performance regression and a fidelity
+regression both fail here.
+"""
+
+from repro.experiments import run
+
+
+def test_bench_table05(benchmark):
+    result = benchmark(run, "table5", quick=True)
+    assert result.experiment_id == "table5"
+    assert result.tables

@@ -1,0 +1,77 @@
+"""Sparse-structure explorer: how matrix shape drives OPM benefit.
+
+Reproduces the insight behind Figures 9-11 and 20-22 interactively:
+generate one matrix per structure family at a fixed footprint, measure
+its structure scores, and compare eDRAM/MCDRAM benefit across families
+for SpMV and SpTRSV. Banded matrices reuse the x vector through small
+windows (OPM matters less per access but across iterations); random
+matrices need the whole working set cached; chain-like matrices make
+SpTRSV latency-bound — where MCDRAM *loses*.
+
+Run with:  python examples/sparse_structure_explorer.py
+"""
+
+from repro import platforms
+from repro.engine import estimate
+from repro.kernels import SpmvKernel, SptrsvKernel
+from repro.platforms import McdramMode
+from repro.sparse import FAMILIES, from_params, generators, measure_structure
+
+
+def measured_structure_demo() -> None:
+    print("Measured structure scores (small materialized instances):")
+    print(f"{'family':>10} | locality | SpTRSV wavefront width")
+    for family in FAMILIES:
+        m = generators.generate(family, 1500, 30_000, seed=42)
+        locality, parallelism = measure_structure(m)
+        print(f"{family:>10} |   {locality:5.2f}  | {parallelism:10.1f}")
+
+
+def opm_benefit_by_family() -> None:
+    bdw = platforms.broadwell()
+    knl = platforms.knl()
+    # eDRAM column: an ~82 MB footprint (inside the 128 MB effective
+    # region); KNL columns: ~1 GB (well past L2, inside MCDRAM).
+    small = (500_000, 6_000_000)
+    large = (4_000_000, 80_000_000)
+    print("\nOPM benefit by structure family "
+          "(eDRAM at ~82 MB, MCDRAM at ~1 GB):")
+    header = (
+        f"{'family':>10} | {'SpMV eDRAM':>11} | {'SpMV flat':>10} | "
+        f"{'SpTRSV flat':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for family in FAMILIES:
+        d_small = from_params(f"s_{family}", family, *small, seed=9)
+        d_large = from_params(f"l_{family}", family, *large, seed=9)
+        spmv_small = SpmvKernel(descriptor=d_small).profile()
+        spmv_large = SpmvKernel(descriptor=d_large).profile()
+        trsv = SptrsvKernel(descriptor=d_large).profile()
+        edram_ratio = (
+            estimate(spmv_small, bdw, edram=True).gflops
+            / estimate(spmv_small, bdw, edram=False).gflops
+        )
+        flat_ratio = (
+            estimate(spmv_large, knl, mcdram=McdramMode.FLAT).gflops
+            / estimate(spmv_large, knl, mcdram=McdramMode.OFF).gflops
+        )
+        trsv_ratio = (
+            estimate(trsv, knl, mcdram=McdramMode.FLAT).gflops
+            / estimate(trsv, knl, mcdram=McdramMode.OFF).gflops
+        )
+        flag = "  <- latency-bound inversion" if trsv_ratio < 1.0 else ""
+        print(
+            f"{family:>10} | {edram_ratio:10.2f}x | {flat_ratio:9.2f}x | "
+            f"{trsv_ratio:10.2f}x{flag}"
+        )
+    print(
+        "\nReading: SpMV gains from OPM bandwidth everywhere; SpTRSV "
+        "inverts on chain-like structures (banded/tridiag), the paper's "
+        "Section 4.2.2 observation."
+    )
+
+
+if __name__ == "__main__":
+    measured_structure_demo()
+    opm_benefit_by_family()

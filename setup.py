@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the `wheel` package that PEP 660
+editable installs require, so `pip install -e .` must go through the
+classic `setup.py develop` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

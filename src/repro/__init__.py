@@ -1,0 +1,29 @@
+"""repro — reproduction of the SC '17 on-package-memory characterization study.
+
+This package rebuilds, in pure Python, the full experimental apparatus of
+*"Exploring and Analyzing the Real Impact of Modern On-Package Memory on HPC
+Scientific Kernels"* (Li et al., SC 2017): platform models for the
+eDRAM-equipped Broadwell and MCDRAM-equipped Knights Landing machines, a
+memory-hierarchy simulator, functional implementations of the eight
+scientific kernels, an analytic performance/power engine built around the
+paper's Stepping model, and one experiment driver per figure and table.
+
+Quickstart::
+
+    from repro import platforms
+    from repro.kernels import gemm
+    from repro.engine import exectime
+
+    machine = platforms.broadwell(edram=True)
+    profile = gemm.GemmKernel(order=4096, tile=256).profile()
+    result = exectime.estimate(profile, machine)
+    print(result.gflops)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro import platforms  # noqa: F401
+from repro._version import __version__  # noqa: F401
+
+__all__ = ["__version__", "platforms"]

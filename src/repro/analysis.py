@@ -1,0 +1,155 @@
+"""Curve analytics: the Stepping-model features as measurable quantities.
+
+The paper reads its figures through a vocabulary — *cache peak*, *cache
+valley*, *memory plateau*, *performance-effective region (PER)*,
+*energy-effective region (EER)* (Sections 4 and 6). This module turns
+that vocabulary into functions over (size, throughput) series so
+experiments and tests can assert the features instead of eyeballing them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class CurveFeatures:
+    """Detected Stepping-model features of one throughput curve."""
+
+    peak_indices: tuple[int, ...]
+    valley_indices: tuple[int, ...]
+    plateau: float
+
+    @property
+    def n_peaks(self) -> int:
+        return len(self.peak_indices)
+
+    @property
+    def n_valleys(self) -> int:
+        return len(self.valley_indices)
+
+
+def _as_arrays(sizes: Sequence[float], gflops: Sequence[float]):
+    s = np.asarray(list(sizes), dtype=np.float64)
+    g = np.asarray(list(gflops), dtype=np.float64)
+    if s.shape != g.shape or s.ndim != 1:
+        raise ValueError("sizes and gflops must be 1-D and equally long")
+    if len(s) and np.any(np.diff(s) <= 0):
+        raise ValueError("sizes must be strictly increasing")
+    return s, g
+
+
+def find_features(
+    sizes: Sequence[float],
+    gflops: Sequence[float],
+    *,
+    tolerance: float = 0.02,
+) -> CurveFeatures:
+    """Detect peaks (local maxima), valleys (local minima *below the final
+    plateau*) and the plateau (terminal throughput).
+
+    ``tolerance`` is the relative wiggle ignored when comparing values
+    (modelled curves are piecewise flat; measured ones are noisy).
+    """
+    s, g = _as_arrays(sizes, gflops)
+    n = len(g)
+    plateau = float(g[-1]) if n else 0.0
+    peaks, valleys = [], []
+    for i in range(1, n - 1):
+        up = g[i] >= g[i - 1] * (1 - tolerance)
+        strictly_down = g[i] > g[i + 1] * (1 + tolerance)
+        if up and strictly_down:
+            peaks.append(i)
+        down = g[i] <= g[i - 1] * (1 + tolerance)
+        strictly_up = g[i] < g[i + 1] * (1 - tolerance)
+        if (
+            down
+            and strictly_up
+            and g[i] < plateau * (1 - tolerance)
+        ):
+            valleys.append(i)
+    return CurveFeatures(
+        peak_indices=tuple(peaks),
+        valley_indices=tuple(valleys),
+        plateau=plateau,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """A contiguous size interval where some predicate holds."""
+
+    lo: float
+    hi: float
+
+    @property
+    def width_octaves(self) -> float:
+        """log2(hi/lo): how many doublings of problem size it spans."""
+        if self.lo <= 0:
+            return float("inf")
+        return float(np.log2(self.hi / self.lo))
+
+    def contains(self, size: float) -> bool:
+        return self.lo <= size <= self.hi
+
+
+def effective_region(
+    sizes: Sequence[float],
+    speedup: Sequence[float],
+    *,
+    threshold: float = 1.01,
+) -> Region | None:
+    """The PER: the size span where speedup exceeds ``threshold``.
+
+    Returns the convex hull of qualifying sizes (the paper's effective
+    regions are contiguous), or None when nothing qualifies.
+    """
+    s, sp = _as_arrays(sizes, speedup)
+    mask = sp > threshold
+    if not mask.any():
+        return None
+    qualifying = s[mask]
+    return Region(lo=float(qualifying.min()), hi=float(qualifying.max()))
+
+
+def energy_effective_region(
+    sizes: Sequence[float],
+    speedup: Sequence[float],
+    power_increase: float,
+) -> Region | None:
+    """The EER (Eq. 1): speedup must exceed 1 + W. Always a subset of the
+    PER — the paper's Figure 28 observation."""
+    return effective_region(sizes, speedup, threshold=1.0 + power_increase)
+
+
+def crossover(
+    sizes: Sequence[float],
+    a: Sequence[float],
+    b: Sequence[float],
+) -> float | None:
+    """First size where curve ``a`` stops beating curve ``b`` (the
+    mode-crossover points of Figures 23-25); None if no crossing."""
+    s, ga = _as_arrays(sizes, a)
+    _, gb = _as_arrays(sizes, b)
+    ahead = ga > gb
+    for i in range(1, len(s)):
+        if ahead[i - 1] and not ahead[i]:
+            return float(s[i])
+    return None
+
+
+def summarize_speedup(speedup: Sequence[float]) -> dict[str, float]:
+    """The Table 4/5 scalar columns from a speedup series."""
+    sp = np.asarray(list(speedup), dtype=np.float64)
+    if len(sp) == 0:
+        raise ValueError("empty speedup series")
+    return {
+        "avg": float(sp.mean()),
+        "max": float(sp.max()),
+        "min": float(sp.min()),
+        "frac_above_1": float(np.mean(sp > 1.001)),
+        "geomean": float(np.exp(np.mean(np.log(np.maximum(sp, 1e-12))))),
+    }

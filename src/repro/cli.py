@@ -1,0 +1,113 @@
+"""Command-line interface: regenerate any paper figure or table.
+
+Usage::
+
+    opm-repro list
+    opm-repro run fig7 [--full] [--csv-dir results/]
+    opm-repro run all --csv-dir results/
+    python -m repro run table4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import all_experiments
+from repro.experiments import run as run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="opm-repro",
+        description=(
+            "Reproduction of 'Exploring and Analyzing the Real Impact of "
+            "Modern On-Package Memory on HPC Scientific Kernels' (SC '17)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list all experiment ids")
+    sub.add_parser(
+        "validate",
+        help="cross-validate the analytic model against the exact simulator",
+    )
+    reportp = sub.add_parser(
+        "report", help="generate the full Markdown reproduction report"
+    )
+    reportp.add_argument("-o", "--output", default="report.md")
+    reportp.add_argument("--full", action="store_true")
+    reportp.add_argument(
+        "experiments",
+        nargs="*",
+        help="restrict to these experiment ids (default: all)",
+    )
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment", help="experiment id (fig1..fig30, table2..table5, eq1, all)")
+    runp.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale sweeps (default: reduced quick sweeps)",
+    )
+    runp.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each result table as CSV under this directory",
+    )
+    runp.add_argument(
+        "--svg-dir",
+        default=None,
+        help="also render figure-shaped tables as SVG under this directory",
+    )
+    runp.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the ASCII rendering (useful with --csv-dir)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id, spec in all_experiments().items():
+            print(f"{exp_id:<8} {spec.paper_artifact:<24} {spec.title}")
+        return 0
+    if args.command == "validate":
+        from repro.validation import report, validate_all
+
+        print(report(validate_all()))
+        return 0
+    if args.command == "report":
+        from repro import report as report_mod
+
+        path = report_mod.write(
+            args.output,
+            quick=not args.full,
+            experiment_ids=args.experiments or None,
+        )
+        print(f"wrote {path}")
+        return 0
+    ids = (
+        list(all_experiments())
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    for exp_id in ids:
+        result = run_experiment(exp_id, quick=not args.full)
+        if not args.quiet:
+            print(result.render())
+            print()
+        if args.csv_dir:
+            for path in result.write_csvs(args.csv_dir):
+                print(f"wrote {path}", file=sys.stderr)
+        if args.svg_dir:
+            from repro.viz.autosvg import write_svgs
+
+            for path in write_svgs(result, args.svg_dir):
+                print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Analytic performance engine: execution time, roofline, stepping model."""
+
+from repro.engine import roofline, stepping
+from repro.engine.calibration import DEFAULT_KNOBS, EFFICIENCY, ModelKnobs, efficiency
+from repro.engine.exectime import RunResult, build_stack, estimate
+
+__all__ = [
+    "DEFAULT_KNOBS",
+    "EFFICIENCY",
+    "ModelKnobs",
+    "RunResult",
+    "build_stack",
+    "efficiency",
+    "estimate",
+    "roofline",
+    "stepping",
+]

@@ -1,0 +1,101 @@
+"""Calibration constants of the analytic engine.
+
+Every knob the execution-time model uses beyond the hardware spec lives
+here, with its provenance. Two kinds:
+
+* **Per-kernel efficiency multipliers** — the fraction of the platform's
+  FLOP peak a kernel's compute part can use *on that architecture*,
+  folded on top of the kernel's own (configuration-dependent)
+  ``compute_efficiency``. These absorb ISA/runtime effects the paper
+  treats as black-box properties of the vendor implementations (e.g.
+  SpTRANS's integer-dominated passes crawl on KNL's weak cores — Tables 4
+  vs 5 show 19–22 GFlop/s on Broadwell but 3.5–5.2 on KNL).
+* **Structural model parameters** — direct-map conflict inflation for
+  MCDRAM cache mode, the flat-mode straddling penalty, the MLP ramp of
+  the valley model. Each is individually switchable for the ablation
+  benchmarks (DESIGN.md Section 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: (kernel, arch) -> multiplier on the platform FLOP peak available to the
+#: kernel's compute phase. Architectures: "Broadwell", "Knights Landing".
+EFFICIENCY: dict[tuple[str, str], float] = {
+    # Dense kernels: MKL-class efficiency on Broadwell; KNL reaches about
+    # half of its (very high) peak on DGEMM-class code (paper Section 4.2.1:
+    # 1425-1544 of 3072 GFlop/s).
+    ("gemm", "Broadwell"): 0.87,
+    ("gemm", "Knights Landing"): 0.48,
+    ("cholesky", "Broadwell"): 0.93,
+    ("cholesky", "Knights Landing"): 0.42,
+    # Sparse kernels: indirect addressing caps the usable issue rate.
+    ("spmv", "Broadwell"): 0.13,
+    ("spmv", "Knights Landing"): 0.11,
+    ("sptrsv", "Broadwell"): 0.75,
+    ("sptrsv", "Knights Landing"): 0.09,
+    # SpTRANS "ops" are index manipulations; KNL's scalar cores do badly.
+    ("sptrans", "Broadwell"): 0.95,
+    ("sptrans", "Knights Landing"): 0.016,
+    ("fft", "Broadwell"): 0.60,
+    ("fft", "Knights Landing"): 0.12,
+    ("stencil", "Broadwell"): 0.60,
+    ("stencil", "Knights Landing"): 0.60,
+    ("stream", "Broadwell"): 1.0,
+    ("stream", "Knights Landing"): 1.0,
+}
+
+
+def efficiency(kernel: str, arch: str) -> float:
+    """Calibrated peak-fraction multiplier (1.0 when uncalibrated)."""
+    return EFFICIENCY.get((kernel, arch), 1.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelKnobs:
+    """Structural parameters of the execution-time model.
+
+    Each field corresponds to one ablation in DESIGN.md Section 5;
+    toggling it off isolates that mechanism's contribution.
+    """
+
+    #: MCDRAM cache mode is direct-mapped (paper Section 2.2): conflict
+    #: misses shrink the usable capacity relative to an LRU cache.
+    direct_map_capacity_factor: float = 0.6
+    #: ... and in-line tag checks shave sustainable bandwidth
+    #: (Section 4.2.1-III: "cache is not always hit and requires
+    #: additional tag checking overhead").
+    cache_mode_bandwidth_factor: float = 0.85
+    #: Flat-mode arrays straddling MCDRAM and DDR thrash the NoC and L2
+    #: sets (Section 4.2.1-II: "the performance becomes extremely poor").
+    #: Both memory channels degrade to this fraction while straddling.
+    flat_straddle_bandwidth_factor: float = 0.30
+    #: Extra latency multiplier while straddling (dual-port L2 conflicts).
+    flat_straddle_latency_factor: float = 2.0
+    #: ... and the L2 set conflicts between DDR- and MCDRAM-backed lines
+    #: destroy on-chip cache effectiveness: cache capacities shrink to
+    #: this fraction while straddling (this is what collapses blocked
+    #: GEMM/Cholesky past 16 GB in flat mode, Figure 15/16).
+    flat_straddle_cache_factor: float = 0.05
+    #: Valley model (paper Figure 6): just past the on-chip LLC capacity
+    #: the memory-level parallelism exposed by a data-parallel kernel has
+    #: not yet grown enough to saturate the memory below. MLP scales with
+    #: problem size, saturating at `valley_span` x LLC capacity, and never
+    #: drops under `valley_floor`.
+    valley_enabled: bool = True
+    valley_floor: float = 0.08
+    valley_span: float = 8.0
+    #: Victim (non-inclusive) eDRAM adds its capacity on top of L3;
+    #: an inclusive design would not (ablation: eDRAM inclusivity).
+    edram_victim: bool = True
+    #: Multiplicative lognormal jitter applied to modelled GFlop/s
+    #: (sigma; 0 disables). Used by scatter figures for realism.
+    noise_sigma: float = 0.0
+
+    def replace(self, **kwargs: object) -> "ModelKnobs":
+        return dataclasses.replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: The default knob set used by all experiments.
+DEFAULT_KNOBS = ModelKnobs()

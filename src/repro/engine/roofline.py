@@ -1,0 +1,95 @@
+"""Roofline model (Williams et al.) — paper Figure 5.
+
+Attainable GFlop/s = min(peak, AI x bandwidth), drawn once per memory
+level so the OPM's bandwidth ceiling appears as an extra diagonal between
+the DRAM diagonal and the compute roof. The kernels are positioned at the
+Table 2 arithmetic intensities.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.kernels.characteristics import ai_spectrum
+from repro.platforms.spec import MachineSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflineCeiling:
+    """One bandwidth diagonal or compute roof."""
+
+    name: str
+    bandwidth: float | None  # GB/s; None for a flat compute roof
+    peak_gflops: float
+
+    def attainable(self, ai: float) -> float:
+        """GFlop/s attainable at arithmetic intensity ``ai`` (flops/byte)."""
+        if self.bandwidth is None:
+            return self.peak_gflops
+        return min(self.peak_gflops, ai * self.bandwidth)
+
+
+@dataclasses.dataclass(frozen=True)
+class Roofline:
+    """A platform's roofline: compute roofs plus memory diagonals."""
+
+    machine: str
+    roofs: tuple[RooflineCeiling, ...]
+
+    def attainable(self, ai: float, *, ceiling: str | None = None) -> float:
+        """Best attainable GFlop/s at ``ai`` under one ceiling (or the
+        tightest DRAM-level ceiling when unnamed)."""
+        if ceiling is not None:
+            for roof in self.roofs:
+                if roof.name == ceiling:
+                    return roof.attainable(ai)
+            raise KeyError(ceiling)
+        return min(roof.attainable(ai) for roof in self.roofs)
+
+    def ridge_point(self, ceiling: str) -> float:
+        """AI where the named bandwidth diagonal meets the DP roof."""
+        for roof in self.roofs:
+            if roof.name == ceiling and roof.bandwidth:
+                return roof.peak_gflops / roof.bandwidth
+        raise KeyError(ceiling)
+
+    def series(
+        self, ai_grid: np.ndarray | None = None
+    ) -> dict[str, np.ndarray]:
+        """Sampled curves for plotting: name -> GFlop/s over the AI grid."""
+        if ai_grid is None:
+            ai_grid = np.logspace(-6, 9, 256, base=2.0)
+        out = {"ai": ai_grid}
+        for roof in self.roofs:
+            out[roof.name] = np.array([roof.attainable(a) for a in ai_grid])
+        return out
+
+
+def build(machine: MachineSpec, *, include_opm: bool = True, include_sp: bool = True) -> Roofline:
+    """Roofline for a machine: DP (and SP) roofs, DRAM and OPM diagonals."""
+    roofs: list[RooflineCeiling] = [
+        RooflineCeiling("DP peak", None, machine.dp_peak_gflops)
+    ]
+    if include_sp:
+        roofs.append(RooflineCeiling("SP peak", None, machine.sp_peak_gflops))
+    roofs.append(
+        RooflineCeiling(
+            machine.dram.name, machine.dram.bandwidth, machine.dp_peak_gflops
+        )
+    )
+    if include_opm and machine.opm is not None:
+        roofs.append(
+            RooflineCeiling(
+                machine.opm.name, machine.opm.bandwidth, machine.dp_peak_gflops
+            )
+        )
+    return Roofline(machine=machine.name, roofs=tuple(roofs))
+
+
+def kernel_positions(
+    n: int = 1024, nnz: int = 1024, m: int = 32
+) -> dict[str, float]:
+    """Kernel -> AI markers for the Figure 5 x-axis (Table 2 formulas)."""
+    return ai_spectrum(n, nnz, m)

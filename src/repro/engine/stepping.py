@@ -1,0 +1,234 @@
+"""The Stepping model (paper Figure 6, applied in Figures 28-30).
+
+The paper's visual analytic tool: achievable throughput as a function of
+*problem size* (not thread count, unlike the Guz et al. valley model it
+generalizes). Every cache level contributes a peak at its capacity,
+possibly followed by a valley when memory-level parallelism is not yet
+sufficient to saturate the next level, and multi-level hierarchies yield
+a descending staircase of peaks.
+
+This module generates the model's canonical curves directly from a
+machine spec and a generic workload shape (arithmetic intensity + reuse
+at fit). It is deliberately simpler than :mod:`repro.engine.exectime` —
+it is the *explanatory* model, and the experiments that reproduce Figures
+6/28/29/30 use it, while the measured-style figures use the full engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.calibration import DEFAULT_KNOBS, ModelKnobs
+from repro.memory.mcdram import McdramConfig
+from repro.platforms.spec import MachineSpec
+from repro.platforms.tuning import EdramMode, McdramMode
+
+
+@dataclasses.dataclass(frozen=True)
+class SteppingCurve:
+    """One throughput-vs-problem-size curve."""
+
+    label: str
+    sizes: np.ndarray  # bytes
+    gflops: np.ndarray
+
+    def peak_positions(self) -> list[int]:
+        """Indices of local maxima (the cache peaks)."""
+        g = self.gflops
+        return [
+            i
+            for i in range(1, len(g) - 1)
+            if g[i] >= g[i - 1] and g[i] > g[i + 1]
+        ]
+
+    def plateau(self) -> float:
+        """Final (memory plateau) throughput."""
+        return float(self.gflops[-1])
+
+
+@dataclasses.dataclass(frozen=True)
+class SteppingWorkload:
+    """Generic workload shape for the stepping model.
+
+    ``ai`` — flops per demanded byte; ``hit_at_fit`` — fraction of demand
+    absorbed by any level the whole problem fits in (1.0 = steady-state
+    repetition); ``mlp`` — outstanding requests available at saturation.
+    """
+
+    ai: float = 0.0625  # STREAM-like by default
+    hit_at_fit: float = 1.0
+    mlp: float = 512.0
+
+
+def curve(
+    machine: MachineSpec,
+    *,
+    sizes: Sequence[float] | None = None,
+    workload: SteppingWorkload = SteppingWorkload(),
+    edram: EdramMode | bool | None = None,
+    mcdram: McdramMode | None = None,
+    knobs: ModelKnobs = DEFAULT_KNOBS,
+    label: str | None = None,
+) -> SteppingCurve:
+    """Generate one stepping curve for a machine/OPM configuration."""
+    levels = _levels_for(machine, edram=edram, mcdram=mcdram, knobs=knobs)
+    if sizes is None:
+        top = (machine.dram.capacity or 2**37) * 4.0
+        sizes = np.logspace(np.log2(16e3), np.log2(top), 160, base=2.0)
+    sizes = np.asarray(list(sizes), dtype=np.float64)
+    gflops = np.array(
+        [
+            _throughput(machine, levels, s, workload, knobs)
+            for s in sizes
+        ]
+    )
+    return SteppingCurve(
+        label=label or _default_label(edram, mcdram),
+        sizes=sizes,
+        gflops=gflops,
+    )
+
+
+def _default_label(
+    edram: EdramMode | bool | None, mcdram: McdramMode | None
+) -> str:
+    if mcdram is not None:
+        return str(mcdram)
+    if edram is None:
+        return "baseline"
+    on = edram.enabled if isinstance(edram, EdramMode) else bool(edram)
+    return "w/ eDRAM" if on else "w/o eDRAM"
+
+
+@dataclasses.dataclass(frozen=True)
+class _Level:
+    name: str
+    capacity: float
+    bandwidth: float
+    latency: float
+    flat_share_cap: float = 0.0  # >0 marks a flat (static-share) level
+
+
+def _levels_for(
+    machine: MachineSpec,
+    *,
+    edram: EdramMode | bool | None,
+    mcdram: McdramMode | None,
+    knobs: ModelKnobs,
+) -> list[_Level]:
+    levels = [
+        _Level(l.name, float(l.capacity or 0), l.bandwidth, l.latency)
+        for l in machine.caches
+    ]
+    opm = machine.opm
+    if opm is not None and opm.kind == "victim-cache":
+        on = True if edram is None else (
+            edram.enabled if isinstance(edram, EdramMode) else bool(edram)
+        )
+        if on:
+            levels.append(
+                _Level(opm.name, float(opm.capacity or 0), opm.bandwidth, opm.latency)
+            )
+    elif opm is not None and mcdram is not None and mcdram.uses_mcdram:
+        config = McdramConfig.from_spec(opm, mcdram)
+        if config.uses_flat:
+            levels.append(
+                _Level(
+                    f"{opm.name}-flat",
+                    float(config.flat_bytes),
+                    opm.bandwidth,
+                    opm.latency,
+                    flat_share_cap=float(config.flat_bytes),
+                )
+            )
+        if config.uses_cache:
+            levels.append(
+                _Level(
+                    f"{opm.name}-cache",
+                    config.cache_bytes * knobs.direct_map_capacity_factor,
+                    opm.bandwidth * knobs.cache_mode_bandwidth_factor,
+                    opm.latency,
+                )
+            )
+    levels.append(
+        _Level(machine.dram.name, float("inf"), machine.dram.bandwidth, machine.dram.latency)
+    )
+    return levels
+
+
+def _throughput(
+    machine: MachineSpec,
+    levels: list[_Level],
+    size: float,
+    w: SteppingWorkload,
+    knobs: ModelKnobs,
+) -> float:
+    """Stepping-model throughput at one problem size (GFlop/s)."""
+    llc = float(machine.llc.capacity or 0)
+    ramp = 1.0
+    if knobs.valley_enabled and llc > 0:
+        ramp = min(1.0, max(knobs.valley_floor, size / (knobs.valley_span * llc)))
+    remaining = 1.0
+    cum = 0.0
+    time_per_byte = 0.0  # max over channels, built incrementally
+    straddling = _is_straddling(levels, size)
+    bw_factor = knobs.flat_straddle_bandwidth_factor if straddling else 1.0
+    for lvl in levels:
+        if remaining <= 0:
+            break
+        served_frac = 0.0
+        if lvl.flat_share_cap > 0:
+            share = min(1.0, lvl.flat_share_cap / size)
+            served_frac = remaining * share
+            port = served_frac
+        else:
+            cum += lvl.capacity
+            if size <= cum:
+                served_frac = remaining * w.hit_at_fit
+            port = remaining
+        on_package = lvl.name != machine.dram.name
+        bw = lvl.bandwidth * (1.0 if on_package and lvl.flat_share_cap == 0 else bw_factor)
+        t_bw = port / (bw * 1e9)
+        t_lat = (served_frac / 64.0) * lvl.latency * 1e-9 / (w.mlp * ramp)
+        time_per_byte = max(time_per_byte, t_bw, t_lat)
+        remaining -= served_frac
+    compute_time = 1.0 / (machine.dp_peak_gflops * 1e9) * w.ai
+    return w.ai / (max(time_per_byte, compute_time) * 1e9)
+
+
+def _is_straddling(levels: list[_Level], size: float) -> bool:
+    flat = [l for l in levels if l.flat_share_cap > 0]
+    has_cache_half = any("cache" in l.name for l in levels if l.flat_share_cap == 0 and "MCDRAM" in l.name)
+    return bool(flat) and not has_cache_half and size > flat[0].flat_share_cap
+
+
+def hardware_whatif(
+    machine: MachineSpec,
+    *,
+    capacity_x: float = 1.0,
+    bandwidth_x: float = 1.0,
+    workload: SteppingWorkload = SteppingWorkload(),
+    sizes: Sequence[float] | None = None,
+) -> SteppingCurve:
+    """Figure 30: scale the OPM's capacity/bandwidth and re-derive the curve.
+
+    Increasing capacity *shifts* the OPM peak right; increasing bandwidth
+    *amplifies* it.
+    """
+    if machine.opm is None:
+        raise ValueError("machine has no OPM to scale")
+    scaled = machine.opm.scaled(capacity_x=capacity_x, bandwidth_x=bandwidth_x)
+    opm = dataclasses.replace(
+        machine.opm, capacity=scaled.capacity, bandwidth=scaled.bandwidth
+    )
+    tweaked = machine.with_opm(opm)
+    return curve(
+        tweaked,
+        workload=workload,
+        sizes=sizes,
+        edram=True,
+        label=f"OPM cap x{capacity_x:g}, bw x{bandwidth_x:g}",
+    )

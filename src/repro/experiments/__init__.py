@@ -1,0 +1,13 @@
+"""Experiment drivers — one per paper figure/table (see DESIGN.md Section 4)."""
+
+from repro.experiments.registry import all_experiments, get, register, run
+from repro.experiments.results import DataTable, ExperimentResult
+
+__all__ = [
+    "DataTable",
+    "ExperimentResult",
+    "all_experiments",
+    "get",
+    "register",
+    "run",
+]

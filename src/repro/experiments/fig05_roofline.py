@@ -1,0 +1,54 @@
+"""Figure 5: theoretical rooflines for eDRAM/Broadwell and MCDRAM/KNL."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import roofline
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.platforms import broadwell, knl
+from repro.viz import line_chart
+
+
+@register("fig5", "Roofline with and without OPM", "Figure 5")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Theoretical rooflines (DDR vs OPM bandwidth ceilings)",
+    )
+    positions = roofline.kernel_positions()
+    for machine in (broadwell(), knl()):
+        rf = roofline.build(machine)
+        grid = np.logspace(-5, 8, 40 if quick else 160, base=2.0)
+        series = rf.series(grid)
+        ai = series.pop("ai")
+        result.figures.append(
+            line_chart(
+                ai,
+                {k: np.asarray(v) for k, v in series.items()},
+                title=f"Roofline: {machine.name}",
+                y_label="GFlop/s (log ceilings)",
+            )
+        )
+        rows = []
+        for kernel, kai in positions.items():
+            row = [kernel, kai]
+            for roof in rf.roofs:
+                row.append(roof.attainable(kai))
+            rows.append(tuple(row))
+        result.add_table(
+            f"attainable_{machine.arch.lower().replace(' ', '_')}",
+            ("kernel", "ai", *(r.name for r in rf.roofs)),
+            rows,
+        )
+        opm = machine.opm
+        assert opm is not None
+        result.notes.append(
+            f"{machine.name}: OPM diagonal ({opm.name}, {opm.bandwidth:.0f} "
+            f"GB/s) lifts the bandwidth ceiling "
+            f"{opm.bandwidth / machine.dram.bandwidth:.1f}x over "
+            f"{machine.dram.name}; ridge at AI="
+            f"{rf.ridge_point(opm.name):.2f}."
+        )
+    return result

@@ -1,0 +1,19 @@
+"""Figure 14: 3-D FFT on Broadwell."""
+
+from __future__ import annotations
+
+from repro.experiments.curves import curve_experiment
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sweeps import fft_sizes
+from repro.kernels import FftKernel
+
+
+@register("fig14", "FFT on Broadwell", "Figure 14")
+def run(quick: bool = True) -> ExperimentResult:
+    sizes = fft_sizes("broadwell", quick=quick)
+    configs = [FftKernel(size=s) for s in sizes]
+    fps = [48 * s**3 / 2**20 for s in sizes]
+    return curve_experiment(
+        "fig14", "3-D FFT on Broadwell", configs, fps, "broadwell"
+    )

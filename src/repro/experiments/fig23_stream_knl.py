@@ -1,0 +1,21 @@
+"""Figure 23: STREAM TRIAD on KNL across MCDRAM modes."""
+
+from __future__ import annotations
+
+from repro.experiments.curves import curve_experiment
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sweeps import stream_sizes
+from repro.kernels import StreamKernel
+
+
+@register("fig23", "Stream on KNL", "Figure 23")
+def run(quick: bool = True) -> ExperimentResult:
+    sizes = stream_sizes("knl", quick=quick)
+    # Extend beyond MCDRAM capacity to expose the flat-mode cliff.
+    sizes = sizes + [sizes[-1] * 4, sizes[-1] * 16]
+    configs = [StreamKernel(n=n) for n in sizes]
+    fps = [3 * 8 * n / 2**20 for n in sizes]
+    return curve_experiment(
+        "fig23", "STREAM TRIAD on KNL", configs, fps, "knl"
+    )

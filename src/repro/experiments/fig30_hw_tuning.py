@@ -1,0 +1,77 @@
+"""Figure 30: tuning the OPM hardware itself.
+
+(A) scaling eDRAM capacity shifts the cache peak rightward; (B) scaling
+its bandwidth amplifies the peak. Both derived from the Stepping model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import stepping
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.platforms import broadwell
+from repro.viz import line_chart
+
+
+@register("fig30", "Tuning eDRAM hardware for throughput", "Figure 30")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="fig30",
+        title="OPM hardware what-if: capacity and bandwidth scaling",
+    )
+    machine = broadwell()
+    n = 60 if quick else 200
+    sizes = np.logspace(np.log2(1e6), np.log2(16e9), n, base=2.0)
+    workload = stepping.SteppingWorkload(ai=0.0625, mlp=48)
+
+    cap_curves = {
+        f"cap x{f:g}": stepping.hardware_whatif(
+            machine, capacity_x=f, workload=workload, sizes=sizes
+        )
+        for f in (1.0, 2.0, 4.0)
+    }
+    bw_curves = {
+        f"bw x{f:g}": stepping.hardware_whatif(
+            machine, bandwidth_x=f, workload=workload, sizes=sizes
+        )
+        for f in (1.0, 2.0, 4.0)
+    }
+    result.figures.append(
+        line_chart(
+            sizes,
+            {k: c.gflops for k, c in cap_curves.items()},
+            title="(A) eDRAM capacity scaling: the peak shifts right",
+        )
+    )
+    result.figures.append(
+        line_chart(
+            sizes,
+            {k: c.gflops for k, c in bw_curves.items()},
+            title="(B) eDRAM bandwidth scaling: the peak grows taller",
+        )
+    )
+    for label, curves in (("capacity", cap_curves), ("bandwidth", bw_curves)):
+        result.add_table(
+            f"{label}_scaling",
+            ("size_bytes", *(curves.keys())),
+            [
+                (s, *(float(c.gflops[i]) for c in curves.values()))
+                for i, s in enumerate(sizes.tolist())
+            ],
+        )
+    # Quantify: last size at which the OPM still outperforms the plateau.
+    base = cap_curves["cap x1"]
+    plateau = base.plateau()
+    for label, curve in cap_curves.items():
+        region = sizes[curve.gflops > plateau * 1.05]
+        if len(region):
+            result.notes.append(
+                f"{label}: OPM-effective up to {region.max() / 2**20:.0f} MB."
+            )
+    for label, curve in bw_curves.items():
+        result.notes.append(
+            f"{label}: peak throughput {float(curve.gflops.max()):.2f} GFlop/s."
+        )
+    return result

@@ -1,0 +1,108 @@
+"""Experiment result containers.
+
+Every experiment driver returns an :class:`ExperimentResult`: one or more
+named :class:`DataTable` objects (the numbers behind the paper artifact),
+pre-rendered ASCII figures, and free-form notes. Results can be dumped as
+CSV files (one per table) or rendered for the terminal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Sequence
+
+from repro.viz.csvout import to_csv_string, write_csv
+
+
+@dataclasses.dataclass
+class DataTable:
+    """A named rectangular table of results."""
+
+    name: str
+    columns: tuple[str, ...]
+    rows: list[tuple]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"table {self.name!r}: row width {len(row)} != "
+                    f"{len(self.columns)} columns"
+                )
+
+    def column(self, name: str) -> list:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_csv(self) -> str:
+        return to_csv_string(self.columns, self.rows)
+
+    def render(self, *, max_rows: int = 24) -> str:
+        """Fixed-width text rendering, elided in the middle when long."""
+        widths = [
+            max(len(c), *(len(_fmt(r[i])) for r in self.rows)) if self.rows else len(c)
+            for i, c in enumerate(self.columns)
+        ]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        sep = "-" * len(header)
+        body_rows = self.rows
+        elided = None
+        if len(body_rows) > max_rows:
+            head = body_rows[: max_rows // 2]
+            tail = body_rows[-(max_rows - max_rows // 2) :]
+            elided = len(body_rows) - len(head) - len(tail)
+            body_rows = head + tail
+        lines = [self.name, header, sep]
+        for i, row in enumerate(body_rows):
+            if elided and i == max_rows // 2:
+                lines.append(f"... ({elided} rows elided) ...")
+            lines.append("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """The output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    tables: list[DataTable] = dataclasses.field(default_factory=list)
+    figures: list[str] = dataclasses.field(default_factory=list)  # ASCII art
+    notes: list[str] = dataclasses.field(default_factory=list)
+
+    def table(self, name: str) -> DataTable:
+        for t in self.tables:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def add_table(
+        self, name: str, columns: Sequence[str], rows: Sequence[tuple]
+    ) -> DataTable:
+        t = DataTable(name=name, columns=tuple(columns), rows=list(rows))
+        self.tables.append(t)
+        return t
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.extend(self.figures)
+        parts.extend(t.render() for t in self.tables)
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        return "\n\n".join(parts)
+
+    def write_csvs(self, out_dir: str | Path) -> list[Path]:
+        """One CSV per table under ``out_dir/<experiment_id>/``."""
+        out = Path(out_dir) / self.experiment_id
+        return [
+            write_csv(out / f"{t.name}.csv", t.columns, t.rows)
+            for t in self.tables
+        ]

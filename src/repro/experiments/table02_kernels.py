@@ -1,0 +1,45 @@
+"""Table 2: scientific-kernel characteristics."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.kernels.characteristics import table2
+
+
+@register("table2", "Kernel characteristics", "Table 2")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Scientific kernel characteristics (Table 2)",
+    )
+    rows = [
+        (
+            row.name,
+            row.implementation,
+            row.dwarf,
+            row.klass,
+            row.complexity,
+            f"{row.operations:.4g}",
+            f"{row.bytes:.4g}",
+            row.arithmetic_intensity,
+            f"{row.threads_broadwell}/{row.threads_knl}",
+        )
+        for row in table2()
+    ]
+    result.add_table(
+        "characteristics",
+        (
+            "kernel",
+            "implementation",
+            "dwarf",
+            "class",
+            "complexity",
+            "operations",
+            "bytes",
+            "ai",
+            "threads (BRD/KNL)",
+        ),
+        rows,
+    )
+    return result

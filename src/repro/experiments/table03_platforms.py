@@ -1,0 +1,65 @@
+"""Table 3: platform configuration."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import register
+from repro.experiments.results import ExperimentResult
+from repro.platforms import broadwell, knl
+
+
+@register("table3", "Platform configuration", "Table 3")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Platform configuration (Table 3)",
+    )
+    rows = []
+    for machine in (broadwell(), knl()):
+        opm = machine.opm
+        assert opm is not None
+        rows.append(
+            (
+                machine.name,
+                machine.arch,
+                machine.cores,
+                machine.frequency_ghz,
+                machine.sp_peak_gflops,
+                machine.dp_peak_gflops,
+                machine.dram.name,
+                (machine.dram.capacity or 0) // 2**30,
+                machine.dram.bandwidth,
+                opm.name,
+                (opm.capacity or 0) // 2**20,
+                opm.bandwidth,
+                machine.llc.name,
+                (machine.llc.capacity or 0) // 2**20,
+            )
+        )
+    result.add_table(
+        "platforms",
+        (
+            "cpu",
+            "arch",
+            "cores",
+            "freq_ghz",
+            "sp_gflops",
+            "dp_gflops",
+            "dram",
+            "dram_gib",
+            "dram_gbs",
+            "opm",
+            "opm_mib",
+            "opm_gbs",
+            "llc",
+            "llc_mib",
+        ),
+        rows,
+    )
+    result.notes.append(
+        "The paper's Table 3 prints KNL's SP/DP columns swapped; we list "
+        "the physically consistent values (64 cores x 1.5 GHz x 32 DP "
+        "flops/cycle = 3072 DP GFlop/s)."
+    )
+    for machine in (broadwell(), knl()):
+        result.figures.append(machine.describe())
+    return result

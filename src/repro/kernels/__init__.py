@@ -1,0 +1,52 @@
+"""The eight scientific kernels of the study (paper Table 2).
+
+Each kernel exposes a functional NumPy implementation (``run``/
+``validate``) and an analytic :class:`~repro.kernels.profile.WorkloadProfile`
+(``profile``) for the performance engine.
+"""
+
+from repro.kernels.base import Kernel
+from repro.kernels.characteristics import (
+    KERNEL_ORDER,
+    KernelCharacteristics,
+    ai_spectrum,
+    table2,
+)
+from repro.kernels.cholesky import CholeskyKernel, tiled_cholesky
+from repro.kernels.fft import FftKernel, fft_1d, fft_3d
+from repro.kernels.gemm import GemmKernel, tiled_gemm
+from repro.kernels.profile import Phase, ReuseCurve, WorkloadProfile
+from repro.kernels.spmv import SpmvKernel, spmv_csr
+from repro.kernels.sptrans import SptransKernel, merge_trans, scan_trans
+from repro.kernels.sptrsv import SptrsvKernel, solve_levels
+from repro.kernels.stencil import StencilKernel, iso3dfd_step
+from repro.kernels.stream import StreamKernel, triad
+
+__all__ = [
+    "CholeskyKernel",
+    "FftKernel",
+    "GemmKernel",
+    "KERNEL_ORDER",
+    "Kernel",
+    "KernelCharacteristics",
+    "Phase",
+    "ReuseCurve",
+    "SpmvKernel",
+    "SptransKernel",
+    "SptrsvKernel",
+    "StencilKernel",
+    "StreamKernel",
+    "WorkloadProfile",
+    "ai_spectrum",
+    "fft_1d",
+    "fft_3d",
+    "iso3dfd_step",
+    "merge_trans",
+    "scan_trans",
+    "solve_levels",
+    "spmv_csr",
+    "table2",
+    "tiled_cholesky",
+    "tiled_gemm",
+    "triad",
+]

@@ -1,0 +1,52 @@
+"""Kernel base class.
+
+Each of the paper's eight kernels is a :class:`Kernel` subclass with three
+faces:
+
+* ``run()`` — a *functional* NumPy implementation that computes the actual
+  result, validated against SciPy/NumPy oracles in the test suite.
+* ``profile()`` — the analytic :class:`~repro.kernels.profile.WorkloadProfile`
+  consumed by the performance engine for full-scale sweeps.
+* ``flops()`` — the Table 2 operation count used as the GFlop/s numerator.
+
+The paper treats its kernels as black boxes (Section 3.1); the profile is
+our white-box characterization of the same access behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+from repro.kernels.profile import WorkloadProfile
+
+
+class Kernel(abc.ABC):
+    """Abstract scientific kernel."""
+
+    #: Short name matching Table 2 ("gemm", "spmv", ...).
+    name: str = ""
+
+    @abc.abstractmethod
+    def run(self) -> Any:
+        """Execute the functional implementation and return its result."""
+
+    @abc.abstractmethod
+    def profile(self) -> WorkloadProfile:
+        """Analytic workload profile for the performance engine."""
+
+    @abc.abstractmethod
+    def flops(self) -> float:
+        """Useful floating-point operations (Table 2 accounting)."""
+
+    def validate(self) -> bool:
+        """Run the kernel against its oracle; True when results agree.
+
+        Subclasses with a natural oracle override this; the default just
+        checks that ``run`` completes.
+        """
+        self.run()
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,224 @@
+"""Workload profiles — the contract between kernels and the engine.
+
+Every kernel can describe one configured run as a
+:class:`WorkloadProfile`: how many useful flops it performs, which arrays
+it allocates (for the NUMA placement of MCDRAM flat mode), and one or more
+:class:`Phase` records characterizing its memory behaviour. A phase's
+locality is a :class:`ReuseCurve` — the fraction of demanded bytes that
+hit in an LRU working set of a given size, i.e. the byte-weighted
+stack-distance CDF. The analytic engine evaluates that curve at the
+cumulative capacities of a platform's hierarchy to obtain per-level
+traffic (DESIGN.md Section 2, granularity 2); the trace simulator measures
+the same quantity exactly, which is how the curves are validated.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Iterable, Mapping, Sequence
+
+
+class ReuseCurve:
+    """Piecewise-constant hit-fraction vs working-set-size curve.
+
+    Points are ``(working_set_bytes, cumulative_hit_fraction)`` with the
+    convention that a fully associative LRU cache of capacity ``C`` hits a
+    fraction ``f(C) = max(frac for ws, frac in points if ws <= C)`` of the
+    demanded bytes (0 below the first point). Fractions must be
+    non-decreasing with size and lie in [0, 1].
+    """
+
+    __slots__ = ("_sizes", "_fracs")
+
+    def __init__(self, points: Iterable[tuple[float, float]]) -> None:
+        pts = sorted((float(s), float(f)) for s, f in points)
+        sizes: list[float] = []
+        fracs: list[float] = []
+        prev_frac = 0.0
+        for size, frac in pts:
+            if size < 0:
+                raise ValueError("working-set size must be non-negative")
+            if not 0.0 <= frac <= 1.0:
+                raise ValueError("hit fraction must be in [0, 1]")
+            if frac < prev_frac - 1e-12:
+                raise ValueError("hit fractions must be non-decreasing")
+            frac = max(frac, prev_frac)
+            if sizes and size == sizes[-1]:
+                fracs[-1] = frac
+            else:
+                sizes.append(size)
+                fracs.append(frac)
+            prev_frac = frac
+        self._sizes = sizes
+        self._fracs = fracs
+
+    @classmethod
+    def no_reuse(cls) -> "ReuseCurve":
+        """Pure streaming: nothing hits regardless of capacity."""
+        return cls([])
+
+    @classmethod
+    def from_knots(
+        cls, points: Iterable[tuple[float, float]], *, footprint: float | None = None
+    ) -> "ReuseCurve":
+        """Build from possibly unordered knots.
+
+        Sorts by size and applies a running maximum to the fractions (a
+        larger working set can never hit less). With ``footprint`` given,
+        knots at or beyond it are collapsed into a single full-reuse point
+        (steady-state repetition hits everything once the problem fits).
+        """
+        pts = sorted((float(s), float(f)) for s, f in points)
+        out: list[tuple[float, float]] = []
+        best = 0.0
+        for size, frac in pts:
+            if footprint is not None and size >= footprint:
+                break
+            best = max(best, frac)
+            out.append((size, best))
+        if footprint is not None:
+            out.append((footprint, 1.0))
+        return cls(out)
+
+    @classmethod
+    def full_reuse(cls, working_set: float) -> "ReuseCurve":
+        """Everything hits once the working set fits."""
+        return cls([(working_set, 1.0)])
+
+    def __call__(self, capacity: float) -> float:
+        """Hit fraction for an LRU working set of ``capacity`` bytes."""
+        if not self._sizes:
+            return 0.0
+        idx = bisect.bisect_right(self._sizes, capacity)
+        return self._fracs[idx - 1] if idx else 0.0
+
+    @property
+    def points(self) -> tuple[tuple[float, float], ...]:
+        return tuple(zip(self._sizes, self._fracs))
+
+    @property
+    def max_fraction(self) -> float:
+        return self._fracs[-1] if self._fracs else 0.0
+
+    def scaled(self, factor: float) -> "ReuseCurve":
+        """Scale all working-set sizes by ``factor`` (what-if analyses)."""
+        return ReuseCurve((s * factor, f) for s, f in self.points)
+
+    @staticmethod
+    def mix(components: Sequence[tuple["ReuseCurve", float]]) -> "ReuseCurve":
+        """Traffic-weighted mixture of curves.
+
+        ``components`` are (curve, weight) pairs; weights are the share of
+        demanded bytes governed by each curve and must sum to ~1.
+        """
+        total = sum(w for _, w in components)
+        if total <= 0:
+            raise ValueError("mixture weights must sum to a positive value")
+        knots = sorted({s for curve, _ in components for s, _ in curve.points})
+        pts = [
+            (s, sum(w * curve(s) for curve, w in components) / total)
+            for s in knots
+        ]
+        return ReuseCurve(pts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pts = ", ".join(f"({s:.3g}, {f:.3f})" for s, f in self.points)
+        return f"ReuseCurve([{pts}])"
+
+
+@dataclasses.dataclass(frozen=True)
+class Phase:
+    """One homogeneous execution phase of a kernel.
+
+    Parameters
+    ----------
+    name:
+        Label for diagnostics ("compute", "transpose-pass", ...).
+    flops:
+        Useful floating-point operations attributed to this phase (the
+        numerator of GFlop/s, counted as the paper's Table 2 does).
+    demand_bytes:
+        Line-granular bytes the phase requests from the hierarchy
+        (every reference counted, reused or not).
+    reuse:
+        The phase's :class:`ReuseCurve`.
+    write_fraction:
+        Fraction of demanded bytes that are stores (adds write-back
+        traffic at the memory boundary).
+    mlp:
+        *Per-core* memory-level parallelism: outstanding cache-line
+        requests one core can sustain. The engine multiplies by the
+        platform's core count, bounded by ``mlp_cap``.
+    mlp_cap:
+        Global upper bound on outstanding requests, independent of core
+        count. Latency-bound kernels (SpTRSV) set this to the dependency
+        wavefront width — the paper's explanation for MCDRAM losing to
+        DDR there (Section 4.2.2).
+    serial_overhead_s:
+        Fixed non-overlappable time (synchronization barriers between
+        SpTRSV wavefronts, FFT all-to-all setup, ...), added to the phase
+        time regardless of bandwidth.
+    """
+
+    name: str
+    flops: float
+    demand_bytes: float
+    reuse: ReuseCurve
+    write_fraction: float = 0.0
+    mlp: float = 8.0
+    mlp_cap: float = float("inf")
+    serial_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.demand_bytes < 0:
+            raise ValueError("flops and demand_bytes must be non-negative")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        if self.mlp < 1.0 or self.mlp_cap < 1.0:
+            raise ValueError("mlp and mlp_cap must be >= 1")
+        if self.serial_overhead_s < 0.0:
+            raise ValueError("serial_overhead_s must be non-negative")
+
+    def global_mlp(self, cores: int) -> float:
+        """Outstanding requests available on a ``cores``-core platform."""
+        return max(1.0, min(self.mlp * cores, self.mlp_cap))
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """Complete analytic description of one kernel configuration."""
+
+    kernel: str
+    params: Mapping[str, float]
+    phases: tuple[Phase, ...]
+    arrays: Mapping[str, int]  # allocation name -> bytes, in alloc order
+    #: Fraction of peak FLOP throughput attainable by the compute part
+    #: (vectorization / pipeline / tiling efficiency), in (0, 1].
+    compute_efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a profile needs at least one phase")
+        if not 0.0 < self.compute_efficiency <= 1.0:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+
+    @property
+    def flops(self) -> float:
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def demand_bytes(self) -> float:
+        return sum(p.demand_bytes for p in self.phases)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total allocated bytes (what lands on NUMA nodes)."""
+        return sum(self.arrays.values())
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per *unique* byte (Table 2's flops-to-bytes ratio uses the
+        algorithmic footprint, not the demanded traffic)."""
+        fp = self.footprint_bytes
+        return self.flops / fp if fp else float("inf")

@@ -1,0 +1,156 @@
+"""Sparse triangular solve (level-scheduled, SpMP/P2P style).
+
+Functional face: solve ``L x = b`` wavefront by wavefront using the level
+schedule of :mod:`repro.sparse.levels` — within a level every row is
+independent (vectorized); across levels a barrier-equivalent dependency
+exists (the P2P implementation sparsifies it, which we model as a reduced
+per-level cost). Analytic face: identical byte/flop counts to SpMV
+(Table 2) but with memory-level parallelism capped by the *measured or
+descriptor-provided wavefront width*. That cap is the paper's explanation
+for SpTRSV's inverted MCDRAM result (Section 4.2.2): with little MLP the
+kernel is latency-bound, and MCDRAM's latency is *higher* than DDR's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.kernels.characteristics import sptrsv_characteristics
+from repro.kernels.profile import Phase, ReuseCurve, WorkloadProfile
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.descriptors import MatrixDescriptor, from_matrix
+from repro.sparse.levels import LevelSchedule, build_levels
+
+#: Per-wavefront synchronization cost (seconds) of the point-to-point
+#: scheme; a full barrier would be ~10x this.
+P2P_SYNC_COST_S = 5.0e-8
+
+
+def solve_levels(lower: CSRMatrix, b: np.ndarray, schedule: LevelSchedule | None = None) -> np.ndarray:
+    """Solve ``L x = b`` by wavefronts (forward substitution)."""
+    if not lower.is_square:
+        raise ValueError("matrix must be square")
+    b = np.asarray(b, dtype=np.float64)
+    if b.shape != (lower.n_rows,):
+        raise ValueError(f"b must have shape ({lower.n_rows},)")
+    if schedule is None:
+        schedule = build_levels(lower)
+    x = np.zeros(lower.n_rows)
+    indptr, indices, data = lower.indptr, lower.indices, lower.data
+    for lvl in range(schedule.n_levels):
+        for i in schedule.rows_in_level(lvl):
+            lo, hi = int(indptr[i]), int(indptr[i + 1])
+            cols = indices[lo:hi]
+            vals = data[lo:hi]
+            mask = cols < i
+            acc = float(vals[mask] @ x[cols[mask]])
+            diag_pos = np.searchsorted(cols, i)
+            if diag_pos >= len(cols) or cols[diag_pos] != i:
+                raise ValueError(f"missing diagonal in row {i}")
+            x[i] = (b[i] - acc) / vals[diag_pos]
+    return x
+
+
+@dataclasses.dataclass
+class SptrsvKernel(Kernel):
+    """Forward solve on the lower triangle of one matrix."""
+
+    descriptor: MatrixDescriptor
+    matrix: CSRMatrix | None = None
+    seed: int = 0
+
+    name = "sptrsv"
+
+    @classmethod
+    def from_matrix(cls, matrix: CSRMatrix, *, name: str = "input") -> "SptrsvKernel":
+        return cls(descriptor=from_matrix(name, matrix), matrix=matrix)
+
+    def _lower(self) -> CSRMatrix:
+        if self.matrix is None:
+            self.matrix = self.descriptor.materialize()
+        return self.matrix.lower_triangle()
+
+    # -- functional ---------------------------------------------------------
+
+    def run(self) -> np.ndarray:
+        lower = self._lower()
+        rng = np.random.default_rng(self.seed)
+        b = rng.random(lower.n_rows)
+        return solve_levels(lower, b)
+
+    def validate(self) -> bool:
+        import scipy.sparse.linalg as spla
+
+        lower = self._lower()
+        rng = np.random.default_rng(self.seed)
+        b = rng.random(lower.n_rows)
+        x = solve_levels(lower, b)
+        ref = spla.spsolve_triangular(lower.to_scipy().tocsr(), b, lower=True)
+        return bool(np.allclose(x, ref, atol=1e-8))
+
+    # -- analytic -----------------------------------------------------------
+
+    def flops(self) -> float:
+        d = self.descriptor
+        return sptrsv_characteristics(d.nnz, d.n_rows).operations
+
+    def profile(self) -> WorkloadProfile:
+        d = self.descriptor
+        nnz, m = float(d.nnz), float(d.n_rows)
+        footprint = float(d.footprint_bytes)
+        stream_bytes = 12.0 * nnz + 4.0 * m
+        gather_bytes = 8.0 * nnz  # x[j] dependencies
+        store_bytes = 8.0 * m
+        cold_frac = min(1.0, m / nnz)
+        window = 64.0 * max(1.0, d.avg_row_nnz)
+        n_levels = max(1.0, m / max(1.0, d.parallelism))
+        # Matrix payload streams ahead of the dependency chain, but level
+        # synchronization interrupts the prefetch stream: its MLP grows
+        # with the wavefront width and is well below SpMV's.
+        stream = Phase(
+            name="payload-stream",
+            flops=self.flops(),
+            demand_bytes=stream_bytes + store_bytes,
+            reuse=ReuseCurve([(footprint, 1.0)]),
+            write_fraction=store_bytes / (stream_bytes + store_bytes),
+            mlp=8.0,
+            mlp_cap=max(16.0, 4.0 * d.parallelism),
+            serial_overhead_s=n_levels * P2P_SYNC_COST_S,
+        )
+        # The x[j] dependency gathers are the serial chain itself: at most
+        # `parallelism` outstanding, usually hitting near-caches for
+        # banded structures.
+        gather = Phase(
+            name="dependency-gather",
+            flops=0.0,
+            demand_bytes=gather_bytes,
+            reuse=ReuseCurve(
+                [
+                    (window, d.locality * (1.0 - cold_frac)),
+                    (footprint, 1.0),
+                ]
+            ),
+            write_fraction=0.0,
+            mlp=4.0,
+            mlp_cap=max(1.0, d.parallelism),
+        )
+        return WorkloadProfile(
+            kernel=self.name,
+            params={
+                "nnz": d.nnz,
+                "rows": d.n_rows,
+                "parallelism": d.parallelism,
+            },
+            phases=(stream, gather),
+            arrays={
+                "vals": int(8 * d.nnz),
+                "cols": int(4 * d.nnz),
+                "indptr": int(4 * d.n_rows),
+                "x": int(8 * d.n_rows),
+                "b": int(8 * d.n_rows),
+            },
+            compute_efficiency=0.6,
+        )

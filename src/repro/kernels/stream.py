@@ -1,0 +1,90 @@
+"""STREAM TRIAD (McCalpin) — the sustainable-bandwidth yardstick.
+
+Functional face: ``a = b + alpha * c`` elementwise. Analytic face: pure
+streaming — two loaded arrays, one stored, zero temporal reuse inside an
+iteration, full reuse across benchmark repetitions once all three arrays
+fit a level. Its throughput curve *is* the Stepping model (paper Figures
+12 and 23): a peak at every cache capacity, then the next plateau.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.kernels.characteristics import stream_characteristics
+from repro.kernels.profile import Phase, ReuseCurve, WorkloadProfile
+
+
+def triad(b: np.ndarray, c: np.ndarray, alpha: float, out: np.ndarray | None = None) -> np.ndarray:
+    """``out = b + alpha * c`` (allocating when ``out`` is None)."""
+    b = np.asarray(b, dtype=np.float64)
+    c = np.asarray(c, dtype=np.float64)
+    if b.shape != c.shape:
+        raise ValueError("operands must share a shape")
+    if out is None:
+        out = np.empty_like(b)
+    np.multiply(c, alpha, out=out)
+    out += b
+    return out
+
+
+@dataclasses.dataclass
+class StreamKernel(Kernel):
+    """TRIAD over arrays of ``n`` doubles."""
+
+    n: int
+    alpha: float = 3.0
+    seed: int = 0
+
+    name = "stream"
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+
+    # -- functional ---------------------------------------------------------
+
+    def run(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        b = rng.random(self.n)
+        c = rng.random(self.n)
+        return triad(b, c, self.alpha)
+
+    def validate(self) -> bool:
+        rng = np.random.default_rng(self.seed)
+        b = rng.random(self.n)
+        c = rng.random(self.n)
+        return bool(np.allclose(triad(b, c, self.alpha), b + self.alpha * c))
+
+    # -- analytic -----------------------------------------------------------
+
+    def flops(self) -> float:
+        return stream_characteristics(self.n).operations
+
+    def profile(self) -> WorkloadProfile:
+        word = 8.0
+        array_bytes = word * self.n
+        footprint = 3.0 * array_bytes
+        demand = 3.0 * array_bytes  # read b, read c, write a
+        phase = Phase(
+            name="triad",
+            flops=self.flops(),
+            demand_bytes=demand,
+            reuse=ReuseCurve([(footprint, 1.0)]),  # only cross-repetition
+            write_fraction=1.0 / 3.0,
+            mlp=20.0,
+        )
+        return WorkloadProfile(
+            kernel=self.name,
+            params={"n": self.n},
+            phases=(phase,),
+            arrays={
+                "a": int(array_bytes),
+                "b": int(array_bytes),
+                "c": int(array_bytes),
+            },
+            compute_efficiency=0.9,
+        )

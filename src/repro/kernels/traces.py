@@ -1,0 +1,306 @@
+"""Instrumented kernels: cache-line access traces from the real algorithms.
+
+DESIGN.md Section 2 promises that kernels "can emit cache-line traces for
+small problems to drive the trace simulator". This module walks the same
+loop nests as the functional implementations and yields
+:class:`~repro.trace.events.Access` events — the ground-truth input for
+validating each kernel's analytic :class:`ReuseCurve` against the exact
+simulator (``tests/test_kernel_traces.py``).
+
+Traces are meant for *small* configurations (the generators guard against
+accidentally emitting billions of events). Array placement mirrors the
+profile's ``arrays`` dict: consecutive page-aligned regions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+from repro.kernels.cholesky import CholeskyKernel
+from repro.kernels.fft import FftKernel
+from repro.kernels.gemm import GemmKernel
+from repro.kernels.spmv import SpmvKernel
+from repro.kernels.sptrans import SptransKernel
+from repro.kernels.sptrsv import SptrsvKernel
+from repro.kernels.stencil import RADIUS, StencilKernel
+from repro.kernels.stream import StreamKernel
+from repro.sparse.levels import build_levels
+from repro.trace.events import Access
+
+PAGE = 4096
+WORD = 8
+
+#: Guard: refuse traces that would exceed this many events.
+MAX_EVENTS = 50_000_000
+
+
+def _layout(sizes: dict[str, int]) -> dict[str, int]:
+    """Page-aligned consecutive base addresses for named arrays."""
+    bases = {}
+    cursor = PAGE
+    for name, size in sizes.items():
+        bases[name] = cursor
+        cursor += -(-size // PAGE) * PAGE
+    return bases
+
+
+def _guard(n_events: int, label: str) -> None:
+    if n_events > MAX_EVENTS:
+        raise ValueError(
+            f"{label}: ~{n_events:.3g} events exceed the trace guard "
+            f"({MAX_EVENTS}); use the analytic profile for this size"
+        )
+
+
+def trace_stream(kernel: StreamKernel, *, reps: int = 1) -> Iterator[Access]:
+    """TRIAD: read b[i], read c[i], write a[i]."""
+    n = kernel.n
+    _guard(3 * n * reps, "stream")
+    base = _layout({"a": n * WORD, "b": n * WORD, "c": n * WORD})
+    for _ in range(reps):
+        for i in range(n):
+            yield Access(base["b"] + i * WORD)
+            yield Access(base["c"] + i * WORD)
+            yield Access(base["a"] + i * WORD, write=True)
+
+
+def trace_gemm(kernel: GemmKernel, *, reps: int = 1) -> Iterator[Access]:
+    """Tiled GEMM loop nest (k-loop innermost over a resident C tile).
+
+    Emits the blocked reference stream at word granularity: for each
+    (i, j) C tile and k panel, the A and B tile elements in the order the
+    micro-kernel consumes them.
+    """
+    n, b = kernel.order, min(kernel.tile, kernel.order)
+    _guard(2 * n**3 * reps, "gemm")
+    fp = n * n * WORD
+    base = _layout({"A": fp, "B": fp, "C": fp})
+
+    def addr(array: str, i: int, j: int) -> int:
+        return base[array] + (i * n + j) * WORD
+
+    for _ in range(reps):
+        for i0 in range(0, n, b):
+            for j0 in range(0, n, b):
+                for p0 in range(0, n, b):
+                    for i in range(i0, min(i0 + b, n)):
+                        for j in range(j0, min(j0 + b, n)):
+                            for p in range(p0, min(p0 + b, n)):
+                                yield Access(addr("A", i, p))
+                                yield Access(addr("B", p, j))
+                            yield Access(addr("C", i, j), write=True)
+
+
+def trace_cholesky(kernel: CholeskyKernel, *, reps: int = 1) -> Iterator[Access]:
+    """Right-looking tiled Cholesky reference stream (update-dominated)."""
+    n, b = kernel.order, min(kernel.tile, kernel.order)
+    _guard(n**3 * reps, "cholesky")
+    base = _layout({"A": n * n * WORD})
+
+    def addr(i: int, j: int) -> int:
+        return base["A"] + (i * n + j) * WORD
+
+    for _ in range(reps):
+        for k0 in range(0, n, b):
+            k1 = min(k0 + b, n)
+            # POTRF on the diagonal tile.
+            for i in range(k0, k1):
+                for j in range(k0, i + 1):
+                    yield Access(addr(i, j), write=True)
+            # TRSM panel + SYRK/GEMM trailing update.
+            for i0 in range(k1, n, b):
+                i1 = min(i0 + b, n)
+                for i in range(i0, i1):
+                    for p in range(k0, k1):
+                        yield Access(addr(i, p), write=True)
+                for j0 in range(k1, i1, b):
+                    j1 = min(j0 + b, i1)
+                    for i in range(i0, i1):
+                        for j in range(j0, j1):
+                            for p in range(k0, k1):
+                                yield Access(addr(i, p))
+                                yield Access(addr(j, p))
+                            yield Access(addr(i, j), write=True)
+
+
+def trace_spmv(kernel: SpmvKernel, *, reps: int = 1) -> Iterator[Access]:
+    """CSR SpMV: stream row pointers, values, column ids; gather x."""
+    matrix = kernel.matrix if kernel.matrix is not None else kernel.descriptor.materialize()
+    _guard(4 * matrix.nnz * reps, "spmv")
+    base = _layout(
+        {
+            "vals": matrix.nnz * WORD,
+            "cols": matrix.nnz * 4,
+            "indptr": (matrix.n_rows + 1) * 4,
+            "x": matrix.n_cols * WORD,
+            "y": matrix.n_rows * WORD,
+        }
+    )
+    for _ in range(reps):
+        for i in range(matrix.n_rows):
+            yield Access(base["indptr"] + i * 4, size=4)
+            lo, hi = int(matrix.indptr[i]), int(matrix.indptr[i + 1])
+            for k in range(lo, hi):
+                yield Access(base["cols"] + k * 4, size=4)
+                yield Access(base["vals"] + k * WORD)
+                yield Access(base["x"] + int(matrix.indices[k]) * WORD)
+            yield Access(base["y"] + i * WORD, write=True)
+
+
+def trace_sptrsv(kernel: SptrsvKernel, *, reps: int = 1) -> Iterator[Access]:
+    """Level-scheduled forward solve: same streams as SpMV, level order."""
+    matrix = kernel.matrix if kernel.matrix is not None else kernel.descriptor.materialize()
+    lower = matrix.lower_triangle()
+    schedule = build_levels(lower)
+    _guard(4 * lower.nnz * reps, "sptrsv")
+    base = _layout(
+        {
+            "vals": lower.nnz * WORD,
+            "cols": lower.nnz * 4,
+            "indptr": (lower.n_rows + 1) * 4,
+            "x": lower.n_rows * WORD,
+            "b": lower.n_rows * WORD,
+        }
+    )
+    for _ in range(reps):
+        for lvl in range(schedule.n_levels):
+            for i in schedule.rows_in_level(lvl):
+                i = int(i)
+                yield Access(base["indptr"] + i * 4, size=4)
+                lo, hi = int(lower.indptr[i]), int(lower.indptr[i + 1])
+                for k in range(lo, hi):
+                    yield Access(base["cols"] + k * 4, size=4)
+                    yield Access(base["vals"] + k * WORD)
+                    j = int(lower.indices[k])
+                    if j < i:  # strictly-lower dependency gathers x[j]
+                        yield Access(base["x"] + j * WORD)
+                yield Access(base["b"] + i * WORD)
+                yield Access(base["x"] + i * WORD, write=True)
+
+
+def trace_stencil(kernel: StencilKernel, *, reps: int = 1) -> Iterator[Access]:
+    """iso3dfd sweeps: star-neighbor reads, vel read, write.
+
+    Neighbor reads are emitted at the granularity the analytic profile
+    models (one touch per plane offset along each axis).
+    """
+    nx, ny, nz = kernel.nx, kernel.ny, kernel.nz
+    cells = nx * ny * nz
+    _guard((6 * RADIUS + 4) * cells * kernel.steps * reps, "stencil")
+    grid_bytes = cells * WORD
+    base = _layout({"prev": grid_bytes, "curr": grid_bytes, "vel": grid_bytes})
+
+    def addr(array: str, i: int, j: int, k: int) -> int:
+        return base[array] + ((i * ny + j) * nz + k) * WORD
+
+    r = RADIUS
+    for _ in range(reps * kernel.steps):
+        for i in range(r, nx - r):
+            for j in range(r, ny - r):
+                for k in range(r, nz - r):
+                    yield Access(addr("curr", i, j, k))
+                    for t in range(1, r + 1):
+                        yield Access(addr("curr", i + t, j, k))
+                        yield Access(addr("curr", i - t, j, k))
+                        yield Access(addr("curr", i, j + t, k))
+                        yield Access(addr("curr", i, j - t, k))
+                        yield Access(addr("curr", i, j, k + t))
+                        yield Access(addr("curr", i, j, k - t))
+                    yield Access(addr("prev", i, j, k))
+                    yield Access(addr("vel", i, j, k))
+                    yield Access(addr("curr", i, j, k), write=True)
+
+
+def trace_sptrans(kernel: SptransKernel, *, reps: int = 1) -> Iterator[Access]:
+    """ScanTrans passes: histogram, scan, scatter (column-ordered writes)."""
+    matrix = kernel.matrix if kernel.matrix is not None else kernel.descriptor.materialize()
+    _guard(6 * matrix.nnz * reps, "sptrans")
+    n_rows, n_cols, nnz = matrix.n_rows, matrix.n_cols, matrix.nnz
+    base = _layout(
+        {
+            "in_vals": nnz * WORD,
+            "in_cols": nnz * 4,
+            "counts": n_cols * 4,
+            "out_vals": nnz * WORD,
+            "out_rows": nnz * 4,
+            "out_ptr": (n_cols + 1) * 4,
+        }
+    )
+    order = np.argsort(matrix.indices, kind="stable")
+    slot_of = np.empty(nnz, dtype=np.int64)
+    slot_of[order] = np.arange(nnz)
+    for _ in range(reps):
+        # Pass 1: histogram of column ids.
+        for k in range(nnz):
+            yield Access(base["in_cols"] + k * 4, size=4)
+            yield Access(
+                base["counts"] + int(matrix.indices[k]) * 4, size=4, write=True
+            )
+        # Pass 2: prefix scan of the counters.
+        for j in range(n_cols):
+            yield Access(base["counts"] + j * 4, size=4)
+            yield Access(base["out_ptr"] + j * 4, size=4, write=True)
+        # Pass 3: scatter values/rows to their column-ordered slots.
+        for k in range(nnz):
+            yield Access(base["in_cols"] + k * 4, size=4)
+            yield Access(base["in_vals"] + k * WORD)
+            slot = int(slot_of[k])
+            yield Access(base["out_vals"] + slot * WORD, write=True)
+            yield Access(base["out_rows"] + slot * 4, size=4, write=True)
+
+
+def trace_fft(kernel: FftKernel, *, reps: int = 1) -> Iterator[Access]:
+    """3-D FFT passes: log2(n) butterfly sweeps per axis over the cube.
+
+    Emits the pencil-walk pattern at word-pair (complex) granularity: for
+    each axis, each pencil is swept ``ceil(log2 n)`` times (the butterfly
+    stages), with pencil elements contiguous along the Z axis only —
+    reproducing the strided access of the Y/X passes.
+    """
+    import math
+
+    n = kernel.size
+    n_points = n**3
+    stages = max(1, math.ceil(math.log2(n)))
+    _guard(3 * 2 * n_points * stages * reps, "fft")
+    cbytes = 16
+    base = _layout({"cube": n_points * cbytes})
+
+    def addr(i: int, j: int, k: int) -> int:
+        return base["cube"] + ((i * n + j) * n + k) * cbytes
+
+    for _ in range(reps):
+        for axis in (1, 0, 2):  # Y, X, Z as the paper orders the passes
+            for _stage in range(stages):
+                for a in range(n):
+                    for b in range(n):
+                        for c in range(n):
+                            if axis == 0:
+                                i, j, k = c, a, b
+                            elif axis == 1:
+                                i, j, k = a, c, b
+                            else:
+                                i, j, k = a, b, c
+                            yield Access(addr(i, j, k), size=cbytes)
+                            yield Access(addr(i, j, k), size=cbytes, write=True)
+
+
+def kernel_trace(kernel: Kernel, *, reps: int = 1) -> Iterator[Access]:
+    """Dispatch to the tracer for ``kernel``'s type."""
+    dispatch = {
+        StreamKernel: trace_stream,
+        GemmKernel: trace_gemm,
+        CholeskyKernel: trace_cholesky,
+        SpmvKernel: trace_spmv,
+        SptransKernel: trace_sptrans,
+        SptrsvKernel: trace_sptrsv,
+        StencilKernel: trace_stencil,
+        FftKernel: trace_fft,
+    }
+    for cls, fn in dispatch.items():
+        if isinstance(kernel, cls):
+            return fn(kernel, reps=reps)  # type: ignore[arg-type]
+    raise TypeError(f"no tracer for {type(kernel).__name__}")

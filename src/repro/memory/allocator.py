@@ -1,0 +1,176 @@
+"""NUMA-style allocation for MCDRAM flat/hybrid modes.
+
+The paper runs KNL flat-mode experiments with ``numactl -p`` (Section 3.3):
+allocations *prefer* the MCDRAM NUMA node and spill to DDR once it is
+exhausted. We reproduce that policy over a simple virtual address space:
+each named array becomes a contiguous region placed greedily on the
+preferred node, falling back to DDR when the remaining MCDRAM cannot hold
+the whole array — except that, like a first-touch page allocator, a region
+larger than the remaining MCDRAM is *split* at page granularity, which is
+exactly the straddling situation Section 4.2.1 (II) identifies as
+pathological.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Mapping, Sequence
+
+PAGE = 4096
+
+
+class Node(enum.Enum):
+    """Placement target for a page range."""
+
+    MCDRAM = "mcdram"
+    DDR = "ddr"
+
+
+@dataclasses.dataclass(frozen=True)
+class Extent:
+    """A contiguous placed piece of one array."""
+
+    base: int  # virtual byte address
+    size: int  # bytes
+    node: Node
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """One allocated array: name plus its (possibly split) extents."""
+
+    name: str
+    extents: tuple[Extent, ...]
+
+    @property
+    def base(self) -> int:
+        return self.extents[0].base
+
+    @property
+    def size(self) -> int:
+        return sum(e.size for e in self.extents)
+
+    @property
+    def straddles(self) -> bool:
+        """True when the array spans both MCDRAM and DDR (the pathological
+        case of paper Section 4.2.1 (II))."""
+        nodes = {e.node for e in self.extents}
+        return len(nodes) > 1
+
+    def bytes_on(self, node: Node) -> int:
+        return sum(e.size for e in self.extents if e.node is node)
+
+    def node_of(self, offset: int) -> Node:
+        """Which node backs byte ``offset`` within this array."""
+        if not 0 <= offset < self.size:
+            raise IndexError(f"offset {offset} outside region {self.name}")
+        addr = self.base + offset
+        for e in self.extents:
+            if e.base <= addr < e.end:
+                return e.node
+        raise AssertionError("extents do not cover region")  # pragma: no cover
+
+
+class NumaAllocator:
+    """Greedy preferred-node allocator emulating ``numactl -p mcdram``.
+
+    Parameters
+    ----------
+    mcdram_capacity:
+        Bytes available on the preferred node (0 disables it: pure DDR).
+    ddr_capacity:
+        Bytes available on DDR; exceeded allocations raise ``MemoryError``.
+    prefer_mcdram:
+        The ``numactl -p`` switch. When False everything lands on DDR
+        (the "w/o MCDRAM" configuration).
+    """
+
+    def __init__(
+        self,
+        mcdram_capacity: int,
+        ddr_capacity: int,
+        *,
+        prefer_mcdram: bool = True,
+    ) -> None:
+        if mcdram_capacity < 0 or ddr_capacity <= 0:
+            raise ValueError("capacities must be non-negative / positive")
+        self.mcdram_capacity = mcdram_capacity
+        self.ddr_capacity = ddr_capacity
+        self.prefer_mcdram = prefer_mcdram and mcdram_capacity > 0
+        self._mcdram_used = 0
+        self._ddr_used = 0
+        self._cursor = PAGE  # keep address 0 unmapped
+        self._regions: dict[str, Region] = {}
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(self, name: str, size: int) -> Region:
+        """Place ``size`` bytes under ``name`` and return the region."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        size = -(-size // PAGE) * PAGE  # round to pages
+        extents: list[Extent] = []
+        remaining = size
+        base = self._cursor
+        if self.prefer_mcdram:
+            on_fast = min(remaining, self.mcdram_capacity - self._mcdram_used)
+            on_fast = (on_fast // PAGE) * PAGE
+            if on_fast > 0:
+                extents.append(Extent(base, on_fast, Node.MCDRAM))
+                self._mcdram_used += on_fast
+                remaining -= on_fast
+        if remaining > 0:
+            if self._ddr_used + remaining > self.ddr_capacity:
+                raise MemoryError(
+                    f"cannot place {name!r}: {remaining} bytes exceed DDR"
+                )
+            extents.append(Extent(base + size - remaining, remaining, Node.DDR))
+            self._ddr_used += remaining
+        region = Region(name=name, extents=tuple(extents))
+        self._regions[name] = region
+        self._cursor = base + size
+        return region
+
+    def allocate_all(self, sizes: Mapping[str, int] | Sequence[tuple[str, int]]) -> dict[str, Region]:
+        """Allocate several arrays in order; returns name -> region."""
+        items = sizes.items() if isinstance(sizes, Mapping) else sizes
+        return {name: self.allocate(name, size) for name, size in items}
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def regions(self) -> dict[str, Region]:
+        return dict(self._regions)
+
+    @property
+    def mcdram_used(self) -> int:
+        return self._mcdram_used
+
+    @property
+    def ddr_used(self) -> int:
+        return self._ddr_used
+
+    def node_of(self, addr: int) -> Node:
+        """Which node backs virtual byte address ``addr``."""
+        for region in self._regions.values():
+            for e in region.extents:
+                if e.base <= addr < e.end:
+                    return e.node
+        # Unmapped addresses (e.g. synthetic traces) default to DDR.
+        return Node.DDR
+
+    def any_straddling(self) -> bool:
+        """True if any array is split across nodes."""
+        return any(r.straddles for r in self._regions.values())
+
+    def mcdram_fraction(self) -> float:
+        """Fraction of total allocated bytes resident on MCDRAM."""
+        total = self._mcdram_used + self._ddr_used
+        return self._mcdram_used / total if total else 0.0

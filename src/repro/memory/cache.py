@@ -1,0 +1,149 @@
+"""Set-associative cache with true-LRU replacement.
+
+The trace-driven half of the reproduction (DESIGN.md Section 2, granularity
+1) needs exact cache behaviour: set indexing, LRU stacks, dirty bits and
+victim extraction. A direct-mapped cache — MCDRAM cache mode is
+direct-mapped (paper Section 2.2) — is the ``ways=1`` special case.
+
+Implementation notes: each set is a ``dict`` mapping tag -> dirty flag.
+CPython dicts preserve insertion order, so "move to end on touch" gives an
+exact LRU stack with O(1) amortized operations; this is the idiomatic
+pure-Python equivalent of an intrusive LRU list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+
+@dataclasses.dataclass(frozen=True)
+class Eviction:
+    """A line pushed out of a cache, with its dirtiness."""
+
+    line: int
+    dirty: bool
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache over line addresses.
+
+    Parameters
+    ----------
+    capacity:
+        Total capacity in bytes.
+    line:
+        Line size in bytes (power of two).
+    ways:
+        Associativity; ``1`` means direct-mapped. If the requested
+        geometry does not divide evenly, the set count is rounded down to
+        the nearest power of two and capacity is preserved by widening the
+        ways, mimicking how real designs absorb odd capacities.
+    """
+
+    def __init__(self, capacity: int, line: int = 64, ways: int = 8) -> None:
+        if capacity < line:
+            raise ValueError("capacity must hold at least one line")
+        if line <= 0 or line & (line - 1):
+            raise ValueError("line must be a power of two")
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        n_lines = capacity // line
+        n_sets = max(1, n_lines // ways)
+        # Round the set count down to a power of two for cheap indexing.
+        n_sets = 1 << (n_sets.bit_length() - 1)
+        self.line = line
+        self.n_sets = n_sets
+        self.ways = max(1, n_lines // n_sets)
+        self.capacity = self.n_sets * self.ways * line
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(n_sets)]
+
+    # -- core operations ---------------------------------------------------
+
+    def _set_of(self, line_addr: int) -> dict[int, bool]:
+        return self._sets[line_addr & (self.n_sets - 1)]
+
+    def lookup(self, line_addr: int, *, touch: bool = True) -> bool:
+        """Probe without filling. Returns hit; refreshes LRU if ``touch``."""
+        s = self._set_of(line_addr)
+        if line_addr not in s:
+            return False
+        if touch:
+            s[line_addr] = s.pop(line_addr)  # move to MRU position
+        return True
+
+    def access(self, line_addr: int, *, write: bool = False) -> tuple[bool, Eviction | None]:
+        """Reference a line: returns (hit, eviction-if-fill-displaced).
+
+        Misses allocate (write-allocate policy); writes mark dirty.
+        """
+        s = self._set_of(line_addr)
+        if line_addr in s:
+            dirty = s.pop(line_addr) or write
+            s[line_addr] = dirty
+            return True, None
+        evicted = None
+        if len(s) >= self.ways:
+            victim_line, victim_dirty = next(iter(s.items()))
+            del s[victim_line]
+            evicted = Eviction(victim_line, victim_dirty)
+        s[line_addr] = write
+        return False, evicted
+
+    def insert(self, line_addr: int, *, dirty: bool = False) -> Eviction | None:
+        """Install a line (e.g. a victim fill) without counting a reference."""
+        s = self._set_of(line_addr)
+        if line_addr in s:
+            s[line_addr] = s.pop(line_addr) or dirty
+            return None
+        evicted = None
+        if len(s) >= self.ways:
+            victim_line, victim_dirty = next(iter(s.items()))
+            del s[victim_line]
+            evicted = Eviction(victim_line, victim_dirty)
+        s[line_addr] = dirty
+        return evicted
+
+    def extract(self, line_addr: int) -> bool | None:
+        """Remove a line, returning its dirty bit, or None if absent.
+
+        Victim-cache promotion (eDRAM hit moves the line back up to L3 —
+        paper Section 2.1) uses this.
+        """
+        s = self._set_of(line_addr)
+        if line_addr in s:
+            return s.pop(line_addr)
+        return None
+
+    def invalidate_all(self) -> None:
+        """Drop all contents (used between experiment repetitions)."""
+        for s in self._sets:
+            s.clear()
+
+    # -- introspection -----------------------------------------------------
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self._set_of(line_addr)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> Iterator[int]:
+        """All line addresses currently cached (unordered across sets)."""
+        for s in self._sets:
+            yield from s
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        return self.ways == 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SetAssociativeCache(capacity={self.capacity}, line={self.line}, "
+            f"sets={self.n_sets}, ways={self.ways})"
+        )
+
+
+def direct_mapped(capacity: int, line: int = 64) -> SetAssociativeCache:
+    """Convenience constructor for MCDRAM-cache-mode-style caches."""
+    return SetAssociativeCache(capacity, line=line, ways=1)

@@ -1,0 +1,44 @@
+"""Cache-line address arithmetic.
+
+All simulator components operate on *line addresses* (byte address divided
+by the line size). These helpers centralize the conversions so the line
+size is never hard-coded in two places.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.platforms.spec import LINE_BYTES
+
+
+def line_of(addr: int, line: int = LINE_BYTES) -> int:
+    """Line address containing byte address ``addr``."""
+    return addr // line
+
+
+def line_base(addr: int, line: int = LINE_BYTES) -> int:
+    """Byte address of the first byte of the line containing ``addr``."""
+    return (addr // line) * line
+
+
+def lines_touched(addr: int, size: int, line: int = LINE_BYTES) -> range:
+    """Range of line addresses covered by ``size`` bytes at ``addr``."""
+    if size <= 0:
+        raise ValueError("size must be positive")
+    first = addr // line
+    last = (addr + size - 1) // line
+    return range(first, last + 1)
+
+
+def count_lines(size: int, line: int = LINE_BYTES) -> int:
+    """Minimum number of lines needed to hold ``size`` bytes."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    return -(-size // line)
+
+
+def expand(accesses: Iterable[tuple[int, int]], line: int = LINE_BYTES) -> Iterator[int]:
+    """Expand (byte_addr, size) pairs into a stream of line addresses."""
+    for addr, size in accesses:
+        yield from lines_touched(addr, size, line)

@@ -1,0 +1,348 @@
+"""Trace-driven memory-hierarchy simulator.
+
+Composes the pieces of :mod:`repro.memory` into the two platform shapes of
+the paper:
+
+* Broadwell: L1 -> L2 -> L3 -> [eDRAM victim L4] -> DDR3
+* KNL:       L1 -> L2 -> [MCDRAM stage per mode] -> DDR4 / MCDRAM-flat
+
+The simulator is exact (set indexing, LRU, victim promotion, direct-map
+conflicts, NUMA placement) and is the ground truth the analytic engine in
+:mod:`repro.engine` is validated against. It is meant for small traces;
+full-scale sweeps use the analytic model (DESIGN.md Section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.memory.allocator import Node, NumaAllocator
+from repro.memory.cache import Eviction, SetAssociativeCache
+from repro.memory.mcdram import McdramConfig
+from repro.memory.stats import HierarchyStats, LevelStats
+from repro.memory.victim import VictimCache
+from repro.platforms.spec import MachineSpec
+from repro.platforms.tuning import EdramMode, McdramMode
+
+
+class _CacheStage:
+    """A standard inclusive-fill cache level with its counters."""
+
+    def __init__(self, name: str, cache: SetAssociativeCache) -> None:
+        self.name = name
+        self.cache = cache
+        self.stats = LevelStats(name=name, line=cache.line)
+
+
+class Hierarchy:
+    """A configured memory hierarchy accepting a line-address trace.
+
+    Use the :func:`for_broadwell` / :func:`for_knl` builders rather than
+    constructing directly.
+    """
+
+    def __init__(
+        self,
+        cache_stages: list[_CacheStage],
+        *,
+        line: int,
+        victim: VictimCache | None = None,
+        victim_name: str = "eDRAM",
+        mcdram_cache: SetAssociativeCache | None = None,
+        allocator: NumaAllocator | None = None,
+        memory_names: tuple[str, str] = ("DRAM", "MCDRAM-flat"),
+        prefetcher: object | None = None,
+    ) -> None:
+        if not cache_stages:
+            raise ValueError("at least one cache stage required")
+        self.line = line
+        self._stages = cache_stages
+        self._victim = victim
+        self._victim_stats = (
+            LevelStats(name=victim_name, line=line) if victim is not None else None
+        )
+        self._mcdram_cache = mcdram_cache
+        self._mcdram_stats = (
+            LevelStats(name="MCDRAM", line=line) if mcdram_cache is not None else None
+        )
+        self._allocator = allocator
+        #: Optional prefetcher (repro.memory.prefetch) observing the L2
+        #: demand stream and inserting into the L2 stage's cache.
+        self._prefetcher = prefetcher
+        self._dram_stats = LevelStats(name=memory_names[0], line=line)
+        self._flat_stats = (
+            LevelStats(name=memory_names[1], line=line) if allocator is not None else None
+        )
+
+    # -- simulation --------------------------------------------------------
+
+    def access(self, line_addr: int, *, write: bool = False) -> str:
+        """Reference one cache line; returns the servicing level's name."""
+        if self._prefetcher is not None:
+            issued = self._prefetcher.observe(line_addr)
+            if issued:
+                # Prefetch fills are real traffic: they load the target
+                # stage from memory (counted as DRAM reads + stage fills).
+                self._stages[-1].stats.fills += len(issued)
+                self._dram_stats.accesses += len(issued)
+                self._dram_stats.hits += len(issued)
+        serviced: str | None = None
+        for i, stage in enumerate(self._stages):
+            stage.stats.accesses += 1
+            hit, ev = stage.cache.access(line_addr, write=write)
+            if hit:
+                stage.stats.hits += 1
+            else:
+                stage.stats.misses += 1
+                stage.stats.fills += 1
+            self._handle_eviction(i, ev)
+            if hit:
+                serviced = stage.name
+                break
+        if serviced is None:
+            serviced = self._service_below(line_addr, write)
+        return serviced
+
+    def run(self, trace: Iterable[tuple[int, bool]]) -> HierarchyStats:
+        """Drive a whole (line_addr, is_write) trace and return the stats."""
+        for line_addr, write in trace:
+            self.access(line_addr, write=write)
+        return self.stats()
+
+    def run_lines(self, lines: Iterable[int], *, write: bool = False) -> HierarchyStats:
+        """Drive a read-only (or write-only) line-address stream."""
+        for line_addr in lines:
+            self.access(line_addr, write=write)
+        return self.stats()
+
+    # -- internals ---------------------------------------------------------
+
+    def _handle_eviction(self, level_idx: int, ev: Eviction | None) -> None:
+        if ev is None:
+            return
+        stage = self._stages[level_idx]
+        is_llc = level_idx == len(self._stages) - 1
+        if is_llc and self._victim is not None:
+            # L3 eviction fills the eDRAM victim cache (paper Section 2.1).
+            assert self._victim_stats is not None
+            displaced = self._victim.fill(ev)
+            self._victim_stats.fills += 1
+            if displaced is not None and displaced.dirty:
+                self._victim_stats.writebacks += 1
+                self._dram_stats.writebacks += 1
+            return
+        if ev.dirty:
+            stage.stats.writebacks += 1
+            if not is_llc:
+                # Propagate dirtiness to the next level's copy (it was
+                # installed on the walk down for recently shared lines).
+                self._stages[level_idx + 1].cache.insert(ev.line, dirty=True)
+            else:
+                self._absorb_llc_writeback(ev)
+
+    def _absorb_llc_writeback(self, ev: Eviction) -> None:
+        """Route a dirty LLC eviction toward memory (KNL shapes)."""
+        if self._mcdram_cache is not None:
+            assert self._mcdram_stats is not None
+            if self._cacheable_by_mcdram(ev.line):
+                displaced = self._mcdram_cache.insert(ev.line, dirty=True)
+                self._mcdram_stats.fills += 1
+                if displaced is not None and displaced.dirty:
+                    self._mcdram_stats.writebacks += 1
+                    self._dram_stats.writebacks += 1
+                return
+        if self._allocator is not None and self._node_of(ev.line) is Node.MCDRAM:
+            assert self._flat_stats is not None
+            self._flat_stats.writebacks += 1
+        else:
+            self._dram_stats.writebacks += 1
+
+    def _node_of(self, line_addr: int) -> Node:
+        assert self._allocator is not None
+        return self._allocator.node_of(line_addr * self.line)
+
+    def _cacheable_by_mcdram(self, line_addr: int) -> bool:
+        """Cache-mode MCDRAM caches only DDR-backed addresses; flat-half
+        addresses bypass it (hybrid mode)."""
+        if self._allocator is None:
+            return True
+        return self._node_of(line_addr) is Node.DDR
+
+    def _service_below(self, line_addr: int, write: bool) -> str:
+        # Broadwell shape: victim eDRAM, then DDR.
+        if self._victim is not None:
+            assert self._victim_stats is not None
+            self._victim_stats.accesses += 1
+            dirty = self._victim.probe(line_addr)
+            if dirty is not None:
+                self._victim_stats.hits += 1
+                if dirty:
+                    # Promotion keeps the dirty bit in the LLC copy.
+                    self._stages[-1].cache.insert(line_addr, dirty=True)
+                return self._victim_stats.name
+            self._victim_stats.misses += 1
+            self._dram_stats.accesses += 1
+            self._dram_stats.hits += 1
+            return self._dram_stats.name
+        # KNL shapes.
+        if self._allocator is not None and self._node_of(line_addr) is Node.MCDRAM:
+            assert self._flat_stats is not None
+            self._flat_stats.accesses += 1
+            self._flat_stats.hits += 1
+            return self._flat_stats.name
+        if self._mcdram_cache is not None and self._cacheable_by_mcdram(line_addr):
+            assert self._mcdram_stats is not None
+            self._mcdram_stats.accesses += 1
+            hit, ev = self._mcdram_cache.access(line_addr, write=write)
+            if ev is not None and ev.dirty:
+                self._mcdram_stats.writebacks += 1
+                self._dram_stats.writebacks += 1
+            if hit:
+                self._mcdram_stats.hits += 1
+                return self._mcdram_stats.name
+            self._mcdram_stats.misses += 1
+            self._mcdram_stats.fills += 1
+            self._dram_stats.accesses += 1
+            self._dram_stats.hits += 1
+            return self._dram_stats.name
+        self._dram_stats.accesses += 1
+        self._dram_stats.hits += 1
+        return self._dram_stats.name
+
+    # -- results -----------------------------------------------------------
+
+    def stats(self) -> HierarchyStats:
+        levels = [s.stats for s in self._stages]
+        if self._victim_stats is not None:
+            levels.append(self._victim_stats)
+        if self._mcdram_stats is not None:
+            levels.append(self._mcdram_stats)
+        if self._flat_stats is not None:
+            levels.append(self._flat_stats)
+        levels.append(self._dram_stats)
+        return HierarchyStats(levels=levels)
+
+    def reset(self) -> None:
+        """Drop cache contents and zero all counters."""
+        for stage in self._stages:
+            stage.cache.invalidate_all()
+            stage.stats = LevelStats(name=stage.name, line=self.line)
+        if self._victim is not None:
+            self._victim.invalidate_all()
+            self._victim_stats = LevelStats(
+                name=self._victim_stats.name, line=self.line  # type: ignore[union-attr]
+            )
+        if self._mcdram_cache is not None:
+            self._mcdram_cache.invalidate_all()
+            self._mcdram_stats = LevelStats(name="MCDRAM", line=self.line)
+        self._dram_stats = LevelStats(name=self._dram_stats.name, line=self.line)
+        if self._flat_stats is not None:
+            self._flat_stats = LevelStats(
+                name=self._flat_stats.name, line=self.line
+            )
+
+
+# -- builders ---------------------------------------------------------------
+
+
+def _cache_stages(machine: MachineSpec, *, scale: float = 1.0) -> list[_CacheStage]:
+    """Instantiate the on-chip levels of ``machine``.
+
+    ``scale`` shrinks every capacity by a constant factor so that small,
+    fast-to-simulate traces exercise the same *ratios* as the real machine
+    (a standard scaled-down simulation technique); 1.0 keeps true sizes.
+    """
+    stages = []
+    for lvl in machine.caches:
+        assert lvl.capacity is not None
+        cap = max(lvl.line * (lvl.ways or 8), int(lvl.capacity * scale))
+        cache = SetAssociativeCache(cap, line=lvl.line, ways=lvl.ways or 8)
+        stages.append(_CacheStage(lvl.name, cache))
+    return stages
+
+
+def for_broadwell(
+    machine: MachineSpec,
+    *,
+    edram: bool | EdramMode = True,
+    scale: float = 1.0,
+    prefetch: str | None = None,
+) -> Hierarchy:
+    """Build the Broadwell-shaped hierarchy (optionally without eDRAM)."""
+    if isinstance(edram, EdramMode):
+        edram = edram.enabled
+    victim = None
+    if edram and machine.opm is not None:
+        assert machine.opm.capacity is not None
+        cap = max(
+            machine.opm.line * (machine.opm.ways or 16),
+            int(machine.opm.capacity * scale),
+        )
+        victim = VictimCache(cap, line=machine.opm.line, ways=machine.opm.ways or 16)
+    stages = _cache_stages(machine, scale=scale)
+    return Hierarchy(
+        stages,
+        line=machine.dram.line,
+        victim=victim,
+        victim_name=machine.opm.name if machine.opm else "eDRAM",
+        memory_names=(machine.dram.name, "unused"),
+        prefetcher=_make_prefetcher(prefetch, stages),
+    )
+
+
+def for_knl(
+    machine: MachineSpec,
+    mode: McdramMode,
+    *,
+    allocator: NumaAllocator | None = None,
+    scale: float = 1.0,
+) -> Hierarchy:
+    """Build the KNL-shaped hierarchy for one MCDRAM mode.
+
+    ``allocator`` carries flat/hybrid placements; when omitted one is
+    created with the mode's flat capacity (callers then allocate arrays
+    through ``hierarchy_allocator(h)``).
+    """
+    if machine.opm is None:
+        raise ValueError("KNL machine spec must include MCDRAM")
+    config = McdramConfig.from_spec(machine.opm, mode)
+    mcdram_cache = None
+    if config.uses_cache:
+        ways = machine.opm.ways or 1  # MCDRAM: 1 (direct-mapped)
+        cap = max(machine.opm.line * ways, int(config.cache_bytes * scale))
+        mcdram_cache = SetAssociativeCache(cap, line=machine.opm.line, ways=ways)
+    if allocator is None and config.uses_flat:
+        assert machine.dram.capacity is not None
+        allocator = NumaAllocator(
+            int(config.flat_bytes * scale),
+            machine.dram.capacity,
+            prefer_mcdram=True,
+        )
+    stages = _cache_stages(machine, scale=scale)
+    return Hierarchy(
+        stages,
+        line=machine.dram.line,
+        mcdram_cache=mcdram_cache,
+        allocator=allocator,
+        memory_names=(machine.dram.name, "MCDRAM-flat"),
+    )
+
+
+def _make_prefetcher(kind: str | None, stages: list[_CacheStage]):
+    """Instantiate an optional prefetcher targeting the deepest on-chip
+    cache ('next-line' or 'stride'); None disables prefetching."""
+    if kind is None:
+        return None
+    from repro.memory.prefetch import NextLinePrefetcher, StridePrefetcher
+
+    target = stages[-1].cache
+    if kind == "next-line":
+        return NextLinePrefetcher(target)
+    if kind == "stride":
+        return StridePrefetcher(target)
+    raise ValueError(f"unknown prefetcher kind {kind!r}")
+
+
+def hierarchy_allocator(hierarchy: Hierarchy) -> NumaAllocator | None:
+    """Expose the NUMA allocator of a flat/hybrid KNL hierarchy."""
+    return hierarchy._allocator

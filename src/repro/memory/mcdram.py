@@ -1,0 +1,58 @@
+"""MCDRAM mode configuration (paper Table 1 + Section 2.2).
+
+Translates a :class:`~repro.platforms.tuning.McdramMode` plus the physical
+MCDRAM spec into the capacities the simulator and the analytic engine need:
+how many bytes act as a direct-mapped memory-side cache and how many are
+exposed as addressable flat memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.platforms.spec import OpmSpec
+from repro.platforms.tuning import McdramMode
+
+
+@dataclasses.dataclass(frozen=True)
+class McdramConfig:
+    """Resolved MCDRAM configuration for one run."""
+
+    mode: McdramMode
+    cache_bytes: int
+    flat_bytes: int
+    bandwidth: float
+    latency: float
+
+    @classmethod
+    def from_spec(cls, spec: OpmSpec, mode: McdramMode) -> "McdramConfig":
+        if spec.kind != "memory-side":
+            raise ValueError("McdramConfig requires a memory-side OPM spec")
+        cap = spec.capacity or 0
+        return cls(
+            mode=mode,
+            cache_bytes=int(cap * mode.cache_fraction),
+            flat_bytes=int(cap * mode.flat_fraction),
+            bandwidth=spec.bandwidth,
+            latency=spec.latency,
+        )
+
+    @property
+    def uses_cache(self) -> bool:
+        return self.cache_bytes > 0
+
+    @property
+    def uses_flat(self) -> bool:
+        return self.flat_bytes > 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.cache_bytes + self.flat_bytes
+
+    def describe(self) -> str:
+        gib = 1024**3
+        return (
+            f"{self.mode}: cache {self.cache_bytes / gib:.0f} GiB, "
+            f"flat {self.flat_bytes / gib:.0f} GiB, "
+            f"{self.bandwidth:.0f} GB/s"
+        )

@@ -1,0 +1,113 @@
+"""Hardware prefetcher models for the trace-driven simulator.
+
+The analytic engine's MLP story (valley model, SpTRSV inversion) rests on
+how much latency the memory system can hide; on real parts the L2
+prefetchers supply much of that concurrency. This module adds the two
+classic designs to the exact simulator so their effect is measurable
+rather than assumed:
+
+* :class:`NextLinePrefetcher` — on access to line L, prefetch L+1..L+D.
+* :class:`StridePrefetcher` — per-PC-less stride table: detects constant
+  strides in the global reference stream and runs ahead of them.
+
+Prefetches are issued into a target cache via ``insert`` (no reference
+counted) and tracked for accuracy statistics: *useful* prefetches are
+those whose line is touched before eviction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.memory.cache import SetAssociativeCache
+
+
+@dataclasses.dataclass
+class PrefetchStats:
+    issued: int = 0
+    useful: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.useful / self.issued if self.issued else 0.0
+
+
+class NextLinePrefetcher:
+    """Sequential prefetcher with configurable degree."""
+
+    def __init__(self, cache: SetAssociativeCache, *, degree: int = 2) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.cache = cache
+        self.degree = degree
+        self.stats = PrefetchStats()
+        self._outstanding: set[int] = set()
+
+    def observe(self, line_addr: int) -> list[int]:
+        """Notify of a demand access; returns lines prefetched now."""
+        if line_addr in self._outstanding:
+            self.stats.useful += 1
+            self._outstanding.discard(line_addr)
+        issued = []
+        for d in range(1, self.degree + 1):
+            target = line_addr + d
+            if target in self.cache or target in self._outstanding:
+                continue
+            self.cache.insert(target)
+            self._outstanding.add(target)
+            self.stats.issued += 1
+            issued.append(target)
+        return issued
+
+
+class StridePrefetcher:
+    """Global-stream stride detector with run-ahead.
+
+    Tracks the last address and last stride; after ``confirm`` identical
+    strides it prefetches ``degree`` lines ahead along the stride. Covers
+    the strided column scans of SpTRANS and the pencil walks of the FFT
+    that a next-line prefetcher misses.
+    """
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        *,
+        degree: int = 4,
+        confirm: int = 2,
+    ) -> None:
+        if degree < 1 or confirm < 1:
+            raise ValueError("degree and confirm must be >= 1")
+        self.cache = cache
+        self.degree = degree
+        self.confirm = confirm
+        self.stats = PrefetchStats()
+        self._last_addr: int | None = None
+        self._last_stride: int = 0
+        self._streak: int = 0
+        self._outstanding: set[int] = set()
+
+    def observe(self, line_addr: int) -> list[int]:
+        """Notify of a demand access; returns lines prefetched now."""
+        if line_addr in self._outstanding:
+            self.stats.useful += 1
+            self._outstanding.discard(line_addr)
+        issued: list[int] = []
+        if self._last_addr is not None:
+            stride = line_addr - self._last_addr
+            if stride != 0 and stride == self._last_stride:
+                self._streak += 1
+            else:
+                self._streak = 1 if stride != 0 else 0
+                self._last_stride = stride
+            if stride != 0 and self._streak >= self.confirm:
+                for d in range(1, self.degree + 1):
+                    target = line_addr + stride * d
+                    if target < 0 or target in self.cache or target in self._outstanding:
+                        continue
+                    self.cache.insert(target)
+                    self._outstanding.add(target)
+                    self.stats.issued += 1
+                    issued.append(target)
+        self._last_addr = line_addr
+        return issued

@@ -1,0 +1,94 @@
+"""Per-level access statistics collected by the trace simulator."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class LevelStats:
+    """Counters for one hierarchy level.
+
+    * ``accesses`` — probes that reached this level.
+    * ``hits`` / ``misses`` — outcome of those probes.
+    * ``fills`` — lines installed from below (or from victim traffic).
+    * ``writebacks`` — dirty lines this level pushed toward memory.
+    """
+
+    name: str
+    line: int
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Local hit rate of probes that reached this level."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Bytes moved through this level (hits serviced + fills + WBs)."""
+        return (self.hits + self.fills + self.writebacks) * self.line
+
+    def merge(self, other: "LevelStats") -> "LevelStats":
+        """Sum counters (for aggregating repetitions)."""
+        if other.name != self.name or other.line != self.line:
+            raise ValueError("cannot merge stats of different levels")
+        return LevelStats(
+            name=self.name,
+            line=self.line,
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            fills=self.fills + other.fills,
+            writebacks=self.writebacks + other.writebacks,
+        )
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        return {
+            "name": self.name,
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "writebacks": self.writebacks,
+            "hit_rate": self.hit_rate,
+            "traffic_bytes": self.traffic_bytes,
+        }
+
+
+@dataclasses.dataclass
+class HierarchyStats:
+    """Ordered collection of per-level statistics for one simulation."""
+
+    levels: list[LevelStats]
+
+    def __getitem__(self, name: str) -> LevelStats:
+        for lvl in self.levels:
+            if lvl.name == name:
+                return lvl
+        raise KeyError(name)
+
+    def __iter__(self):
+        return iter(self.levels)
+
+    @property
+    def total_accesses(self) -> int:
+        """References issued by the core (probes at the first level)."""
+        return self.levels[0].accesses if self.levels else 0
+
+    def summary(self) -> str:
+        """Table of hit rates, one line per level."""
+        rows = [
+            f"{lvl.name:<8} acc={lvl.accesses:>10} hit={lvl.hit_rate:6.2%} "
+            f"fills={lvl.fills:>10} wb={lvl.writebacks:>8}"
+            for lvl in self.levels
+        ]
+        return "\n".join(rows)

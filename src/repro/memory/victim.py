@@ -1,0 +1,51 @@
+"""eDRAM-style victim cache semantics (paper Section 2.1).
+
+The Broadwell eDRAM L4 is a *non-inclusive victim cache*: it is filled by
+lines evicted from the on-chip L3 (whose tags it shares), and a hit in the
+L4 promotes the line back into L3. It never holds lines that are also in
+L3, so the effective combined capacity is L3 + L4.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import Eviction, SetAssociativeCache
+
+
+class VictimCache:
+    """Wraps a :class:`SetAssociativeCache` with victim fill/promote rules."""
+
+    def __init__(self, capacity: int, line: int = 64, ways: int = 16) -> None:
+        self._cache = SetAssociativeCache(capacity, line=line, ways=ways)
+
+    @property
+    def capacity(self) -> int:
+        return self._cache.capacity
+
+    @property
+    def line(self) -> int:
+        return self._cache.line
+
+    def probe(self, line_addr: int) -> bool | None:
+        """Probe for a line; on hit, *remove* it (promotion to the upper
+        level) and return its dirty bit. Returns ``None`` on miss.
+        """
+        if not self._cache.lookup(line_addr, touch=False):
+            return None
+        return self._cache.extract(line_addr)
+
+    def fill(self, eviction: Eviction) -> Eviction | None:
+        """Install a line evicted from the upper level.
+
+        Returns the line this fill displaced out of the victim cache (to be
+        written back to DRAM if dirty), or ``None``.
+        """
+        return self._cache.insert(eviction.line, dirty=eviction.dirty)
+
+    def invalidate_all(self) -> None:
+        self._cache.invalidate_all()
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self._cache
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,54 @@
+"""OS-level OPM management (the paper's Section 8 future-work scope).
+
+* :mod:`repro.os.partition` — OPM partitioning policies for
+  multi-programmed systems (fairness / efficiency / consistency).
+* :mod:`repro.os.multiprog` — co-run simulation + system metrics.
+* :mod:`repro.os.pagetable` — page-table-in-OPM cost model.
+"""
+
+from repro.os.multiprog import (
+    CorunResult,
+    TenantResult,
+    compare_policies,
+    simulate_corun,
+    throughput_with_slice,
+)
+from repro.os.pagetable import PLACEMENTS, PagetableStudy, WalkModel, study
+from repro.os.virtualization import (
+    GuestVM,
+    VirtualizationResult,
+    VmResult,
+    simulate_virtualized,
+)
+from repro.os.partition import (
+    ALL_POLICIES,
+    EqualShare,
+    FreeForAll,
+    Partition,
+    PartitionPolicy,
+    ProportionalShare,
+    UtilityMaxShare,
+)
+
+__all__ = [
+    "ALL_POLICIES",
+    "CorunResult",
+    "EqualShare",
+    "FreeForAll",
+    "GuestVM",
+    "PLACEMENTS",
+    "PagetableStudy",
+    "Partition",
+    "PartitionPolicy",
+    "ProportionalShare",
+    "TenantResult",
+    "UtilityMaxShare",
+    "VirtualizationResult",
+    "VmResult",
+    "WalkModel",
+    "compare_policies",
+    "simulate_corun",
+    "simulate_virtualized",
+    "study",
+    "throughput_with_slice",
+]

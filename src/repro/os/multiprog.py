@@ -1,0 +1,167 @@
+"""Multi-programmed co-run simulation over a shared OPM.
+
+Evaluates N applications sharing one OPM-equipped machine under a
+partitioning policy (:mod:`repro.os.partition`): each application runs on
+an *effective machine* whose OPM capacity is its slice and whose OPM/DRAM
+bandwidths are divided by the co-runner count (time-multiplexed memory
+system), then the usual analytic engine produces its throughput. System
+metrics follow the paper's fairness/efficiency framing:
+
+* **system throughput** — sum of GFlop/s.
+* **weighted speedup** — mean of per-app (co-run / solo) ratios, the
+  standard multiprogramming metric.
+* **Jain fairness index** — of the per-app speedup ratios, 1 = perfectly
+  fair, 1/N = one app monopolizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.engine.calibration import DEFAULT_KNOBS, ModelKnobs
+from repro.engine.exectime import estimate
+from repro.kernels.profile import WorkloadProfile
+from repro.platforms.spec import MachineSpec, OpmSpec
+from repro.platforms.tuning import McdramMode
+from repro.os.partition import Partition, PartitionPolicy
+
+
+def _machine_with_slice(
+    machine: MachineSpec, slice_bytes: int, bandwidth_divisor: float
+) -> MachineSpec:
+    """Effective machine for one tenant: its OPM slice, shared bandwidth."""
+    divisor = max(1.0, bandwidth_divisor)
+    opm = machine.opm
+    if opm is not None:
+        if slice_bytes <= 0:
+            opm = None
+        else:
+            opm = dataclasses.replace(
+                opm,
+                capacity=max(opm.line, int(slice_bytes)),
+                bandwidth=opm.bandwidth / divisor,
+            )
+    dram = dataclasses.replace(
+        machine.dram, bandwidth=machine.dram.bandwidth / divisor
+    )
+    return dataclasses.replace(machine, opm=opm, dram=dram)
+
+
+def _opm_mode_kwargs(machine: MachineSpec) -> dict:
+    """Engine keyword selecting the 'OPM as cache' configuration."""
+    if machine.opm is None:
+        return {"edram": False}
+    if machine.opm.kind == "victim-cache":
+        return {"edram": True}
+    return {"mcdram": McdramMode.CACHE}
+
+
+def throughput_with_slice(
+    profile: WorkloadProfile,
+    machine: MachineSpec,
+    slice_bytes: int,
+    *,
+    bandwidth_divisor: float = 1.0,
+    knobs: ModelKnobs = DEFAULT_KNOBS,
+) -> float:
+    """GFlop/s of one application given an OPM slice (utility oracle)."""
+    eff = _machine_with_slice(machine, slice_bytes, bandwidth_divisor)
+    return estimate(profile, eff, knobs=knobs, **_opm_mode_kwargs(eff)).gflops
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantResult:
+    """One application's co-run outcome."""
+
+    name: str
+    slice_bytes: int
+    solo_gflops: float
+    corun_gflops: float
+
+    @property
+    def speedup_vs_solo(self) -> float:
+        return self.corun_gflops / self.solo_gflops if self.solo_gflops else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CorunResult:
+    """Policy-level outcome of one co-run scenario."""
+
+    policy: str
+    tenants: tuple[TenantResult, ...]
+
+    @property
+    def system_throughput(self) -> float:
+        return sum(t.corun_gflops for t in self.tenants)
+
+    @property
+    def weighted_speedup(self) -> float:
+        if not self.tenants:
+            return 0.0
+        return sum(t.speedup_vs_solo for t in self.tenants) / len(self.tenants)
+
+    @property
+    def jain_fairness(self) -> float:
+        """Jain index over per-tenant speedups (1 = fair, 1/N = unfair)."""
+        xs = [t.speedup_vs_solo for t in self.tenants]
+        if not xs or all(x == 0 for x in xs):
+            return 0.0
+        return sum(xs) ** 2 / (len(xs) * sum(x * x for x in xs))
+
+    @property
+    def min_speedup(self) -> float:
+        """Worst-tenant consistency (the paper's 'consistency' axis)."""
+        return min((t.speedup_vs_solo for t in self.tenants), default=0.0)
+
+
+def simulate_corun(
+    named_profiles: Sequence[tuple[str, WorkloadProfile]],
+    machine: MachineSpec,
+    policy: PartitionPolicy,
+    *,
+    knobs: ModelKnobs = DEFAULT_KNOBS,
+) -> CorunResult:
+    """Run one policy on one scenario."""
+    if machine.opm is None or machine.opm.capacity is None:
+        raise ValueError("co-run simulation needs an OPM-equipped machine")
+    profiles = [p for _, p in named_profiles]
+    partition: Partition = policy.partition(
+        profiles, machine.opm.capacity, machine
+    )
+    n = len(profiles)
+    tenants = []
+    for (name, profile), slice_bytes in zip(named_profiles, partition.slices):
+        solo = throughput_with_slice(
+            profile, machine, machine.opm.capacity, knobs=knobs
+        )
+        corun = throughput_with_slice(
+            profile,
+            machine,
+            slice_bytes,
+            bandwidth_divisor=float(n),
+            knobs=knobs,
+        )
+        tenants.append(
+            TenantResult(
+                name=name,
+                slice_bytes=slice_bytes,
+                solo_gflops=solo,
+                corun_gflops=corun,
+            )
+        )
+    return CorunResult(policy=partition.policy, tenants=tuple(tenants))
+
+
+def compare_policies(
+    named_profiles: Sequence[tuple[str, WorkloadProfile]],
+    machine: MachineSpec,
+    policies: Sequence[PartitionPolicy],
+    *,
+    knobs: ModelKnobs = DEFAULT_KNOBS,
+) -> list[CorunResult]:
+    """Evaluate several policies on the same scenario."""
+    return [
+        simulate_corun(named_profiles, machine, policy, knobs=knobs)
+        for policy in policies
+    ]

@@ -1,0 +1,125 @@
+"""Page-table buffering in OPM — paper Section 8, future-work question (3).
+
+"Would OPM be useful for certain OS functionalities, e.g. buffering page
+table?" A TLB miss on x86-64 costs a 4-level radix walk; each level is a
+memory access served wherever that page-table node resides. This module
+models the effective walk cost for a workload with a given TLB miss rate
+under three placements of the page-table working set:
+
+* ``dram`` — walks go to DRAM (the default when the PT working set blows
+  out the caches, typical for huge irregular footprints).
+* ``opm`` — the OS pins page-table pages into the OPM.
+* ``cached`` — upper levels hit on-chip (small-footprint baseline).
+
+and reports the induced slowdown on a kernel's runtime. The interesting
+result mirrors the main study: an OPM with *latency below DRAM* (Broadwell
+eDRAM) accelerates walks, while a memory-side OPM with DRAM-class latency
+(MCDRAM) does not — page-table buffering is only worthwhile on the former.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine.exectime import RunResult
+from repro.platforms.spec import LINE_BYTES, MachineSpec
+
+#: Radix levels of an x86-64 walk (PML4 -> PDPT -> PD -> PT).
+WALK_LEVELS = 4
+
+#: Fraction of walk levels that hit the paging-structure caches even in
+#: the worst case (upper levels are few pages and stay cached).
+UPPER_LEVEL_HIT = 0.5
+
+PLACEMENTS = ("cached", "opm", "dram")
+
+
+@dataclasses.dataclass(frozen=True)
+class WalkModel:
+    """TLB-miss cost model for one machine."""
+
+    machine: MachineSpec
+
+    def _level_latency(self, placement: str) -> float:
+        """Latency (ns) of one lower-level page-table access."""
+        if placement == "cached":
+            return self.machine.llc.latency
+        if placement == "opm":
+            if self.machine.opm is None:
+                raise ValueError("machine has no OPM to pin page tables in")
+            return self.machine.opm.latency
+        if placement == "dram":
+            return self.machine.dram.latency
+        raise ValueError(f"unknown placement {placement!r}")
+
+    def walk_cost_ns(self, placement: str) -> float:
+        """Mean cost of one full TLB miss walk."""
+        upper = WALK_LEVELS * UPPER_LEVEL_HIT * self.machine.llc.latency
+        lower = WALK_LEVELS * (1.0 - UPPER_LEVEL_HIT) * self._level_latency(
+            placement
+        )
+        return upper + lower
+
+    def walk_overhead_seconds(
+        self,
+        demand_bytes: float,
+        tlb_miss_per_access: float,
+        placement: str,
+        *,
+        walk_mlp: float | None = None,
+    ) -> float:
+        """Total walk time for a phase issuing ``demand_bytes`` of traffic.
+
+        ``tlb_miss_per_access`` is misses per cache-line access (0.001 =
+        one miss per thousand lines — a friendly sequential workload;
+        irregular gather codes reach 0.05+). Walks overlap with ``walk_mlp``
+        outstanding.
+        """
+        if not 0.0 <= tlb_miss_per_access <= 1.0:
+            raise ValueError("tlb_miss_per_access must be in [0, 1]")
+        if walk_mlp is None:
+            # Every core walks independently, two walks in flight each.
+            walk_mlp = 2.0 * self.machine.cores
+        accesses = demand_bytes / LINE_BYTES
+        walks = accesses * tlb_miss_per_access
+        return walks * self.walk_cost_ns(placement) * 1e-9 / max(1.0, walk_mlp)
+
+
+@dataclasses.dataclass(frozen=True)
+class PagetableStudy:
+    """Slowdown of one kernel run under each page-table placement."""
+
+    kernel: str
+    base_seconds: float
+    overhead_seconds: dict[str, float]
+
+    def slowdown(self, placement: str) -> float:
+        return (
+            self.base_seconds + self.overhead_seconds[placement]
+        ) / self.base_seconds
+
+    def opm_benefit(self) -> float:
+        """Speedup of OPM-pinned over DRAM-resident page tables."""
+        return self.slowdown("dram") / self.slowdown("opm")
+
+
+def study(
+    result: RunResult,
+    machine: MachineSpec,
+    *,
+    tlb_miss_per_access: float,
+    demand_bytes: float,
+) -> PagetableStudy:
+    """Evaluate all placements for one completed kernel run."""
+    model = WalkModel(machine)
+    overhead = {
+        placement: model.walk_overhead_seconds(
+            demand_bytes, tlb_miss_per_access, placement
+        )
+        for placement in PLACEMENTS
+    }
+    return PagetableStudy(
+        kernel=result.kernel,
+        base_seconds=result.seconds,
+        overhead_seconds=overhead,
+    )

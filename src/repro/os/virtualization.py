@@ -1,0 +1,149 @@
+"""Two-level OPM management for virtualized hosts.
+
+Paper Section 8, future-work question (2): "in a virtual environment,
+how would the host OS manage OPM across different guest OS?" We model
+the natural two-level scheme: the *host* partitions the physical OPM
+among virtual machines, then each *guest* partitions its grant among its
+own applications — both levels drawing from the same policy vocabulary
+as :mod:`repro.os.partition`.
+
+The interesting failure mode this exposes: a fair host + fair guests is
+*not* end-to-end fair. A VM with many tenants dilutes its grant, so
+per-application outcomes depend on co-tenancy, and host-level
+utility-maximization can silently starve an entire guest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.engine.calibration import DEFAULT_KNOBS, ModelKnobs
+from repro.kernels.profile import WorkloadProfile
+from repro.os.multiprog import TenantResult, throughput_with_slice
+from repro.os.partition import PartitionPolicy
+from repro.platforms.spec import MachineSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class GuestVM:
+    """One guest OS with its applications."""
+
+    name: str
+    tenants: tuple[tuple[str, WorkloadProfile], ...]
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ValueError(f"VM {self.name!r} needs at least one tenant")
+
+    @property
+    def aggregate_footprint(self) -> int:
+        return sum(p.footprint_bytes for _, p in self.tenants)
+
+
+@dataclasses.dataclass(frozen=True)
+class VmResult:
+    name: str
+    grant_bytes: int
+    tenants: tuple[TenantResult, ...]
+
+    @property
+    def throughput(self) -> float:
+        return sum(t.corun_gflops for t in self.tenants)
+
+    @property
+    def min_tenant_speedup(self) -> float:
+        return min((t.speedup_vs_solo for t in self.tenants), default=0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class VirtualizationResult:
+    host_policy: str
+    guest_policy: str
+    vms: tuple[VmResult, ...]
+
+    @property
+    def system_throughput(self) -> float:
+        return sum(vm.throughput for vm in self.vms)
+
+    def all_tenants(self) -> list[TenantResult]:
+        return [t for vm in self.vms for t in vm.tenants]
+
+    @property
+    def jain_fairness(self) -> float:
+        """End-to-end Jain index over all applications in all guests."""
+        xs = [t.speedup_vs_solo for t in self.all_tenants()]
+        if not xs or all(x == 0 for x in xs):
+            return 0.0
+        return sum(xs) ** 2 / (len(xs) * sum(x * x for x in xs))
+
+    def starved_vms(self) -> list[str]:
+        return [vm.name for vm in self.vms if vm.grant_bytes == 0]
+
+
+def simulate_virtualized(
+    vms: Sequence[GuestVM],
+    machine: MachineSpec,
+    host_policy: PartitionPolicy,
+    guest_policy: PartitionPolicy,
+    *,
+    knobs: ModelKnobs = DEFAULT_KNOBS,
+) -> VirtualizationResult:
+    """Two-level OPM partitioning: host across VMs, guest within each."""
+    if machine.opm is None or machine.opm.capacity is None:
+        raise ValueError("virtualized OPM management needs an OPM machine")
+    if not vms:
+        raise ValueError("at least one VM required")
+    # Host level: partition using each VM's aggregate footprint. For
+    # utility-driven host policies the per-VM "profile" is its heaviest
+    # tenant (a pragmatic proxy: marginal utility of the VM's hot app).
+    host_profiles = [
+        max((p for _, p in vm.tenants), key=lambda p: p.footprint_bytes)
+        for vm in vms
+    ]
+    # Footprint-proportional host policies should see aggregate demand.
+    host_inputs = [
+        dataclasses.replace(
+            profile,
+            arrays={"aggregate": vm.aggregate_footprint},
+        )
+        for vm, profile in zip(vms, host_profiles)
+    ]
+    host_partition = host_policy.partition(
+        host_inputs, machine.opm.capacity, machine
+    )
+    total_apps = sum(len(vm.tenants) for vm in vms)
+    vm_results = []
+    for vm, grant in zip(vms, host_partition.slices):
+        profiles = [p for _, p in vm.tenants]
+        guest_partition = guest_policy.partition(profiles, grant, machine)
+        tenants = []
+        for (tname, profile), slice_bytes in zip(
+            vm.tenants, guest_partition.slices
+        ):
+            solo = throughput_with_slice(
+                profile, machine, machine.opm.capacity, knobs=knobs
+            )
+            corun = throughput_with_slice(
+                profile,
+                machine,
+                slice_bytes,
+                bandwidth_divisor=float(total_apps),
+                knobs=knobs,
+            )
+            tenants.append(
+                TenantResult(
+                    name=f"{vm.name}/{tname}",
+                    slice_bytes=slice_bytes,
+                    solo_gflops=solo,
+                    corun_gflops=corun,
+                )
+            )
+        vm_results.append(
+            VmResult(name=vm.name, grant_bytes=grant, tenants=tuple(tenants))
+        )
+    return VirtualizationResult(
+        host_policy=host_partition.policy,
+        guest_policy=guest_policy.name,
+        vms=tuple(vm_results),
+    )

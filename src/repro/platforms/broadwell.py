@@ -1,0 +1,124 @@
+"""Intel Core i7-5775C (Broadwell) platform model — paper Table 3, row 1.
+
+4 cores at 3.7 GHz, 473.6 SP / 236.8 DP GFlop/s, DDR3-2133 (16 GB at
+34.1 GB/s) and a 128 MB eDRAM L4 victim cache at 102.4 GB/s behind a 6 MB
+on-chip L3. eDRAM tags live in the L3 (paper Section 2.1), so the eDRAM
+behaves as a CPU-side non-inclusive victim cache with latency *below* DDR.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.spec import GIB, KIB, MIB, MachineSpec, MemLevelSpec, OpmSpec
+from repro.platforms.tuning import EdramMode
+
+#: eDRAM average extra power when enabled (paper Section 5.2: +5.6 W).
+EDRAM_STATIC_POWER_W = 1.0  # OPIO interface budget: "104 GB/s at one watt"
+
+#: Paper Table 3 figures.
+CORES = 4
+FREQ_GHZ = 3.7
+SP_PEAK = 473.6
+DP_PEAK = 236.8
+DDR_BW = 34.1
+EDRAM_BW = 102.4
+EDRAM_CAPACITY = 128 * MIB
+L3_CAPACITY = 6 * MIB
+
+
+def edram_spec(
+    *, capacity_x: float = 1.0, bandwidth_x: float = 1.0
+) -> OpmSpec:
+    """The eDRAM L4 level, optionally rescaled for Fig 30 what-ifs."""
+    base = OpmSpec(
+        name="eDRAM",
+        capacity=EDRAM_CAPACITY,
+        bandwidth=EDRAM_BW,
+        latency=42.0,  # below DDR3 (~60 ns): paper Section 2.3 (b)
+        ways=16,
+        kind="victim-cache",
+        static_power_w=EDRAM_STATIC_POWER_W,
+        can_power_off=True,
+    )
+    if capacity_x != 1.0 or bandwidth_x != 1.0:
+        scaled = base.scaled(capacity_x=capacity_x, bandwidth_x=bandwidth_x)
+        base = OpmSpec(
+            name=base.name,
+            capacity=scaled.capacity,
+            bandwidth=scaled.bandwidth,
+            latency=base.latency,
+            ways=base.ways,
+            kind=base.kind,
+            static_power_w=base.static_power_w,
+            can_power_off=base.can_power_off,
+        )
+    return base
+
+
+def broadwell(
+    edram: bool | EdramMode = True,
+    *,
+    edram_capacity_x: float = 1.0,
+    edram_bandwidth_x: float = 1.0,
+) -> MachineSpec:
+    """Build the Broadwell machine model.
+
+    Parameters
+    ----------
+    edram:
+        ``True``/``EdramMode.ON`` keeps the 128 MB L4; ``False``/
+        ``EdramMode.OFF`` models the BIOS switch physically disabling it
+        (no static power either — paper Section 5.2).
+    edram_capacity_x, edram_bandwidth_x:
+        What-if scale factors for the Fig 30 hardware-tuning study.
+    """
+    if isinstance(edram, EdramMode):
+        edram = edram.enabled
+    opm = (
+        edram_spec(capacity_x=edram_capacity_x, bandwidth_x=edram_bandwidth_x)
+        if edram
+        else None
+    )
+    return MachineSpec(
+        name="i7-5775C",
+        arch="Broadwell",
+        cores=CORES,
+        frequency_ghz=FREQ_GHZ,
+        sp_peak_gflops=SP_PEAK,
+        dp_peak_gflops=DP_PEAK,
+        caches=(
+            MemLevelSpec(
+                name="L1",
+                capacity=CORES * 32 * KIB,
+                bandwidth=1420.0,
+                latency=1.1,
+                ways=8,
+                shared=False,
+            ),
+            MemLevelSpec(
+                name="L2",
+                capacity=CORES * 256 * KIB,
+                bandwidth=700.0,
+                latency=3.2,
+                ways=8,
+                shared=False,
+            ),
+            MemLevelSpec(
+                name="L3",
+                capacity=L3_CAPACITY,
+                bandwidth=220.0,
+                latency=12.0,
+                ways=12,
+                shared=True,
+            ),
+        ),
+        opm=opm,
+        dram=MemLevelSpec(
+            name="DDR3",
+            capacity=16 * GIB,
+            bandwidth=DDR_BW,
+            latency=60.0,
+            ways=None,
+        ),
+        base_package_power_w=14.0,
+        max_dynamic_power_w=51.0,
+    )

@@ -1,0 +1,95 @@
+"""KNL on-die cluster modes (all-to-all / quadrant / SNC-4).
+
+The paper runs every KNL experiment in **quadrant** mode, noting it "is
+the default mode ... normally achieves the optimal performance without
+explicit NUMA complexity" (Section 3.3). KNL's BIOS also offers
+all-to-all (no tag-directory affinity — longest mesh routes) and SNC-4
+(sub-NUMA clustering: four visible NUMA domains, shortest routes for
+*local* accesses but remote penalties for naive allocation).
+
+This module models the modes as latency/bandwidth adjustments on the
+machine spec, parameterized by the fraction of accesses a workload keeps
+domain-local under SNC-4 — letting the ext7 experiment test the paper's
+choice: quadrant should be within a few percent of a perfectly NUMA-tuned
+SNC-4 and clearly ahead of a naive one.
+
+Adjustment values follow the published KNL characterizations (mesh hop
+counts; directory lookup placement): all-to-all adds ~18 ns to every
+memory access; SNC-4 removes ~10 ns on local accesses and adds ~25 ns on
+remote ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.platforms.spec import MachineSpec
+
+ALL2ALL_LATENCY_PENALTY_NS = 18.0
+SNC4_LOCAL_LATENCY_BONUS_NS = 10.0
+SNC4_REMOTE_LATENCY_PENALTY_NS = 25.0
+#: Remote SNC-4 traffic crosses quadrant boundaries: effective bandwidth
+#: of the remote share is derated by mesh contention.
+SNC4_REMOTE_BANDWIDTH_FACTOR = 0.7
+
+
+class ClusterMode(enum.Enum):
+    """KNL cluster (tag-directory affinity) modes."""
+
+    ALL2ALL = "all2all"
+    QUADRANT = "quadrant"  # the paper's evaluated default
+    SNC4 = "snc4"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return {
+            "all2all": "all-to-all",
+            "quadrant": "quadrant (paper default)",
+            "snc4": "SNC-4",
+        }[self.value]
+
+
+def apply_cluster_mode(
+    machine: MachineSpec,
+    mode: ClusterMode,
+    *,
+    local_fraction: float = 0.25,
+) -> MachineSpec:
+    """Return the machine with cluster-mode-adjusted memory levels.
+
+    ``local_fraction`` only matters for SNC-4: the share of post-LLC
+    accesses that land in the issuing quadrant's domain. 0.25 is the
+    naive expectation (uniform placement over four domains); 1.0 is a
+    perfectly NUMA-tuned application.
+    """
+    if not isinstance(mode, ClusterMode):
+        raise TypeError("mode must be a ClusterMode")
+    if not 0.0 <= local_fraction <= 1.0:
+        raise ValueError("local_fraction must be in [0, 1]")
+    if mode is ClusterMode.QUADRANT:
+        return machine
+
+    def adjust(level):
+        if level is None:
+            return None
+        if mode is ClusterMode.ALL2ALL:
+            return dataclasses.replace(
+                level, latency=level.latency + ALL2ALL_LATENCY_PENALTY_NS
+            )
+        # SNC-4: latency mixes local bonus and remote penalty; bandwidth
+        # derates on the remote share.
+        latency = (
+            local_fraction
+            * max(1.0, level.latency - SNC4_LOCAL_LATENCY_BONUS_NS)
+            + (1.0 - local_fraction)
+            * (level.latency + SNC4_REMOTE_LATENCY_PENALTY_NS)
+        )
+        bandwidth = level.bandwidth * (
+            local_fraction
+            + (1.0 - local_fraction) * SNC4_REMOTE_BANDWIDTH_FACTOR
+        )
+        return dataclasses.replace(level, latency=latency, bandwidth=bandwidth)
+
+    return dataclasses.replace(
+        machine, opm=adjust(machine.opm), dram=adjust(machine.dram)
+    )

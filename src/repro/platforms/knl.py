@@ -1,0 +1,94 @@
+"""Intel Xeon Phi 7210 (Knights Landing) platform model — paper Table 3, row 2.
+
+64 cores at 1.5 GHz (3072 DP / 6144 SP GFlop/s — the paper's Table 3 prints
+the SP/DP columns swapped; we use the physically consistent assignment:
+64 cores x 1.5 GHz x 32 DP flops/cycle = 3072 DP GFlop/s), DDR4-2133
+(96 GB at 102 GB/s) and 8 x 2 GB MCDRAM modules at 490 GB/s aggregate.
+The LLC is the 32 MB of distributed on-die L2; MCDRAM is a *memory-side*
+stage whose unloaded latency is higher than DDR (paper Section 2.2), so
+it only wins when bandwidth demand is high.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.spec import GIB, KIB, MIB, MachineSpec, MemLevelSpec, OpmSpec
+from repro.platforms.tuning import McdramMode
+
+#: MCDRAM cannot be powered down; it draws static power in every mode
+#: (paper Section 5.2: flat mode adds ~9.8 W average across kernels).
+MCDRAM_STATIC_POWER_W = 4.0
+
+#: Paper Table 3 figures (SP/DP corrected; see module docstring).
+CORES = 64
+FREQ_GHZ = 1.5
+SP_PEAK = 6144.0
+DP_PEAK = 3072.0
+DDR_BW = 102.0
+MCDRAM_BW = 490.0
+MCDRAM_CAPACITY = 16 * GIB
+L2_CAPACITY = 32 * MIB
+
+
+def mcdram_spec() -> OpmSpec:
+    """The MCDRAM stage (mode-independent physical characteristics)."""
+    return OpmSpec(
+        name="MCDRAM",
+        capacity=MCDRAM_CAPACITY,
+        bandwidth=MCDRAM_BW,
+        # Above DDR4 (~130 ns) at low load — paper Sections 2.2 / 4.2.2.
+        latency=155.0,
+        ways=1,  # direct-mapped in cache mode (paper Section 2.2 (i))
+        kind="memory-side",
+        static_power_w=MCDRAM_STATIC_POWER_W,
+        can_power_off=False,
+    )
+
+
+def knl(mode: McdramMode = McdramMode.CACHE) -> MachineSpec:
+    """Build the KNL machine model.
+
+    The MCDRAM stage is always physically present (it cannot be disabled);
+    ``mode`` is carried by the run configuration, not the spec — use
+    :class:`repro.memory.mcdram.McdramConfig` to interpret it. The spec
+    returned here always includes the OPM level; ``McdramMode.OFF`` runs
+    simply never allocate into or cache through it.
+    """
+    if not isinstance(mode, McdramMode):
+        raise TypeError(f"mode must be a McdramMode, got {type(mode).__name__}")
+    return MachineSpec(
+        name="Xeon Phi 7210",
+        arch="Knights Landing",
+        cores=CORES,
+        frequency_ghz=FREQ_GHZ,
+        sp_peak_gflops=SP_PEAK,
+        dp_peak_gflops=DP_PEAK,
+        caches=(
+            MemLevelSpec(
+                name="L1",
+                capacity=CORES * 32 * KIB,
+                bandwidth=6000.0,
+                latency=2.0,
+                ways=8,
+                shared=False,
+            ),
+            # 1 MB per two-core tile, 32 MB chip-wide: the KNL LLC.
+            MemLevelSpec(
+                name="L2",
+                capacity=L2_CAPACITY,
+                bandwidth=1200.0,
+                latency=16.0,
+                ways=16,
+                shared=False,
+            ),
+        ),
+        opm=mcdram_spec(),
+        dram=MemLevelSpec(
+            name="DDR4",
+            capacity=96 * GIB,
+            bandwidth=DDR_BW,
+            latency=130.0,
+            ways=None,
+        ),
+        base_package_power_w=70.0,
+        max_dynamic_power_w=145.0,
+    )

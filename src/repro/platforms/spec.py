@@ -1,0 +1,195 @@
+"""Hardware specification dataclasses (paper Table 3).
+
+A :class:`MachineSpec` describes one evaluation platform: its compute
+throughput ceilings, the on-chip cache levels, the on-package memory (OPM)
+stage, and the off-package DRAM. Numbers are theoretical spec-sheet values,
+exactly as the paper's Table 3 records them; the execution-time model in
+:mod:`repro.engine` derates them with calibrated efficiency factors.
+
+Capacities are bytes, bandwidths GB/s (1e9 bytes/s), latencies nanoseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Cache line size used throughout (both platforms use 64-byte lines).
+LINE_BYTES = 64
+
+#: Word size of every kernel in the study (double precision).
+WORD_BYTES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class MemLevelSpec:
+    """One level of the memory hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Human-readable level name ("L1", "L2", "L3", "eDRAM", "MCDRAM",
+        "DDR3", "DDR4").
+    capacity:
+        Total capacity in bytes visible to one application. ``None`` marks
+        a backing store treated as unbounded (DRAM).
+    bandwidth:
+        Peak sustainable bandwidth in GB/s, aggregated over the chip.
+    latency:
+        Unloaded access latency in nanoseconds.
+    ways:
+        Set associativity. ``1`` is direct-mapped, ``None`` means the level
+        is modelled as fully associative (the analytic engine's default for
+        on-chip SRAM caches).
+    line:
+        Cache line / transfer granularity in bytes.
+    shared:
+        Whether the level is shared by all cores (True) or per-core
+        (False). Per-core levels expose ``capacity`` already multiplied by
+        the core count; ``per_core_capacity`` recovers the slice.
+    """
+
+    name: str
+    capacity: int | None
+    bandwidth: float
+    latency: float
+    ways: int | None = None
+    line: int = LINE_BYTES
+    shared: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity <= 0:
+            raise ValueError(f"{self.name}: capacity must be positive")
+        if self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError(f"{self.name}: latency must be non-negative")
+        if self.ways is not None and self.ways < 1:
+            raise ValueError(f"{self.name}: ways must be >= 1")
+        if self.line <= 0 or self.line & (self.line - 1):
+            raise ValueError(f"{self.name}: line must be a power of two")
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True for backing DRAM with no modelled capacity limit."""
+        return self.capacity is None
+
+    def scaled(self, *, capacity_x: float = 1.0, bandwidth_x: float = 1.0) -> "MemLevelSpec":
+        """Return a what-if copy with scaled capacity/bandwidth (Fig 30)."""
+        cap = self.capacity
+        if cap is not None:
+            cap = max(self.line, int(round(cap * capacity_x)))
+        return dataclasses.replace(
+            self, capacity=cap, bandwidth=self.bandwidth * bandwidth_x
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class OpmSpec(MemLevelSpec):
+    """On-package memory level (eDRAM L4 or MCDRAM).
+
+    ``kind`` selects the structural model: ``"victim-cache"`` (eDRAM on
+    Broadwell — filled by L3 evictions, tags held in L3) or
+    ``"memory-side"`` (MCDRAM on KNL — direct-mapped memory-side cache /
+    addressable flat memory, tags held locally).
+    """
+
+    kind: str = "victim-cache"
+    #: Extra static power in watts drawn while the OPM is powered.
+    static_power_w: float = 0.0
+    #: Whether the part allows physically powering the OPM down (eDRAM can
+    #: be disabled in BIOS; MCDRAM cannot — paper Section 5.2).
+    can_power_off: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.kind not in ("victim-cache", "memory-side"):
+            raise ValueError(f"unknown OPM kind: {self.kind!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """A complete evaluation platform (one row of paper Table 3)."""
+
+    name: str
+    arch: str
+    cores: int
+    frequency_ghz: float
+    sp_peak_gflops: float
+    dp_peak_gflops: float
+    caches: tuple[MemLevelSpec, ...]
+    opm: OpmSpec | None
+    dram: MemLevelSpec
+    #: Baseline package power (watts) with all cores active but idle
+    #: datapaths; used by :mod:`repro.power`.
+    base_package_power_w: float = 15.0
+    #: Peak dynamic package power at full FLOP throughput (watts).
+    max_dynamic_power_w: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.dp_peak_gflops <= 0 or self.sp_peak_gflops <= 0:
+            raise ValueError("peak throughput must be positive")
+        if not self.caches:
+            raise ValueError("at least one on-chip cache level required")
+        caps = [c.capacity for c in self.caches]
+        if any(c is None for c in caps):
+            raise ValueError("on-chip caches must have finite capacity")
+        if not self.dram.is_unbounded and self.dram.capacity is None:
+            raise ValueError("dram capacity misconfigured")
+
+    @property
+    def llc(self) -> MemLevelSpec:
+        """The last on-chip cache level (L3 on Broadwell, L2 on KNL)."""
+        return self.caches[-1]
+
+    @property
+    def has_opm(self) -> bool:
+        return self.opm is not None
+
+    def levels(self, include_opm: bool = True) -> tuple[MemLevelSpec, ...]:
+        """All hierarchy levels from closest to farthest from the cores."""
+        out: list[MemLevelSpec] = list(self.caches)
+        if include_opm and self.opm is not None:
+            out.append(self.opm)
+        out.append(self.dram)
+        return tuple(out)
+
+    def with_opm(self, opm: OpmSpec | None) -> "MachineSpec":
+        """Return a copy with a replaced (or removed) OPM stage."""
+        return dataclasses.replace(self, opm=opm)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description (Table 3 row)."""
+        lines = [
+            f"{self.name} ({self.arch}): {self.cores} cores @ "
+            f"{self.frequency_ghz} GHz, "
+            f"SP {self.sp_peak_gflops:.1f} / DP {self.dp_peak_gflops:.1f} GFlop/s",
+        ]
+        for lvl in self.levels():
+            cap = "unbounded" if lvl.capacity is None else _fmt_bytes(lvl.capacity)
+            lines.append(
+                f"  {lvl.name:<8} {cap:>10}  {lvl.bandwidth:7.1f} GB/s  "
+                f"{lvl.latency:6.1f} ns"
+            )
+        return "\n".join(lines)
+
+
+def _fmt_bytes(n: int) -> str:
+    """Format a byte count with binary units ("128.0 MiB")."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def total_capacity(levels: Sequence[MemLevelSpec]) -> int:
+    """Sum of finite capacities across ``levels`` (bytes)."""
+    return sum(lvl.capacity for lvl in levels if lvl.capacity is not None)

@@ -1,0 +1,90 @@
+"""On-package-memory tuning options (paper Table 1).
+
+Broadwell's eDRAM is a BIOS switch (off / on). KNL's MCDRAM offers four
+effective configurations: not used ("w/o MCDRAM", i.e. DDR preferred),
+cache mode (direct-mapped memory-side LLC), flat mode (addressable NUMA
+node, allocated with ``numactl -p``), and hybrid mode (part cache, part
+flat; the paper evaluates the 50/50 split, 8 GB + 8 GB).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class EdramMode(enum.Enum):
+    """eDRAM BIOS switch on Broadwell (Table 1, upper half)."""
+
+    OFF = "off"
+    ON = "on"
+
+    @property
+    def enabled(self) -> bool:
+        return self is EdramMode.ON
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return {"off": "w/o eDRAM", "on": "w/ eDRAM"}[self.value]
+
+
+class McdramMode(enum.Enum):
+    """MCDRAM configuration on KNL (Table 1, lower half).
+
+    The hybrid mode comes in the two splits the BIOS offers (paper
+    Section 2.2 (iii): "25% or 50% of MCDRAM can be configured as LLC");
+    the paper evaluates the 50/50 split, which is what ``HYBRID`` means
+    throughout — ``HYBRID25`` (4 GB cache + 12 GB flat) is provided for
+    what-if studies.
+    """
+
+    OFF = "off"  # MCDRAM not used: allocations go to DDR
+    CACHE = "cache"  # 16 GB direct-mapped memory-side cache
+    FLAT = "flat"  # 16 GB addressable memory, numactl-preferred
+    HYBRID = "hybrid"  # 8 GB cache + 8 GB flat (the evaluated split)
+    HYBRID25 = "hybrid25"  # 4 GB cache + 12 GB flat
+
+    @property
+    def cache_fraction(self) -> float:
+        """Fraction of MCDRAM capacity operating as cache."""
+        return {
+            "off": 0.0,
+            "cache": 1.0,
+            "flat": 0.0,
+            "hybrid": 0.5,
+            "hybrid25": 0.25,
+        }[self.value]
+
+    @property
+    def flat_fraction(self) -> float:
+        """Fraction of MCDRAM capacity exposed as addressable memory."""
+        return {
+            "off": 0.0,
+            "cache": 0.0,
+            "flat": 1.0,
+            "hybrid": 0.5,
+            "hybrid25": 0.75,
+        }[self.value]
+
+    @property
+    def uses_mcdram(self) -> bool:
+        return self is not McdramMode.OFF
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return {
+            "off": "w/o MCDRAM (DDR)",
+            "cache": "MCDRAM cache mode",
+            "flat": "MCDRAM flat mode",
+            "hybrid": "MCDRAM hybrid mode",
+            "hybrid25": "MCDRAM hybrid mode (25/75)",
+        }[self.value]
+
+
+#: Sweep order used by the KNL figures (DDR, flat, cache, hybrid).
+ALL_MCDRAM_MODES: tuple[McdramMode, ...] = (
+    McdramMode.OFF,
+    McdramMode.FLAT,
+    McdramMode.CACHE,
+    McdramMode.HYBRID,
+)
+
+#: Sweep order used by the Broadwell figures.
+ALL_EDRAM_MODES: tuple[EdramMode, ...] = (EdramMode.OFF, EdramMode.ON)

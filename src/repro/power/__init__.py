@@ -1,0 +1,20 @@
+"""Power and energy modelling (RAPL-style domains, Eq. (1) breakeven)."""
+
+from repro.power.energy import (
+    EnergyComparison,
+    breakeven_gain,
+    compare,
+    energy_delay_product,
+    energy_ratio,
+)
+from repro.power.rapl import PowerSample, measure
+
+__all__ = [
+    "EnergyComparison",
+    "PowerSample",
+    "breakeven_gain",
+    "compare",
+    "energy_delay_product",
+    "energy_ratio",
+    "measure",
+]

@@ -1,0 +1,67 @@
+"""Energy analysis — the paper's Equation (1) and energy-delay products.
+
+Equation (1): with the OPM bringing a performance gain of ``P`` (fraction)
+at the cost of ``W`` (fraction) extra average power,
+
+    E_w/OPM / E_w/oOPM = (1 + W) / (1 + P) < 1
+
+so the OPM saves energy exactly when the performance gain exceeds the
+power increase. The paper's measured averages — +8.6% power for eDRAM,
++6.9% for MCDRAM flat — set the breakeven speedups it quotes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.power.rapl import PowerSample
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyComparison:
+    """OPM-on vs OPM-off energy accounting for one kernel."""
+
+    kernel: str
+    perf_gain: float  # P: fractional speedup from the OPM
+    power_increase: float  # W: fractional average-power increase
+    energy_ratio: float  # E_opm / E_base (< 1 means the OPM saves energy)
+
+    @property
+    def saves_energy(self) -> bool:
+        return self.energy_ratio < 1.0
+
+
+def energy_ratio(perf_gain: float, power_increase: float) -> float:
+    """Equation (1): E_w/OPM / E_w/oOPM = (1 + W) / (1 + P)."""
+    if perf_gain <= -1.0:
+        raise ValueError("perf_gain must be > -1")
+    return (1.0 + power_increase) / (1.0 + perf_gain)
+
+
+def breakeven_gain(power_increase: float) -> float:
+    """Minimum fractional speedup for the OPM to save energy (= W)."""
+    return power_increase
+
+
+def compare(
+    with_opm: PowerSample, without_opm: PowerSample
+) -> EnergyComparison:
+    """Build the Eq. (1) comparison from two modelled runs."""
+    if with_opm.kernel != without_opm.kernel:
+        raise ValueError("samples must be of the same kernel")
+    perf_gain = without_opm.seconds / with_opm.seconds - 1.0
+    power_increase = with_opm.total_w / without_opm.total_w - 1.0
+    return EnergyComparison(
+        kernel=with_opm.kernel,
+        perf_gain=perf_gain,
+        power_increase=power_increase,
+        energy_ratio=with_opm.energy_j / without_opm.energy_j,
+    )
+
+
+def energy_delay_product(sample: PowerSample, *, exponent: int = 1) -> float:
+    """EDP (or ED^2P with exponent=2) — the alternative metric the paper
+    mentions for users weighting performance against energy."""
+    if exponent < 1:
+        raise ValueError("exponent must be >= 1")
+    return sample.energy_j * sample.seconds**exponent

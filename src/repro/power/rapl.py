@@ -1,0 +1,95 @@
+"""RAPL-style power model (paper Section 5.2, Figures 26/27).
+
+The paper measures package and DRAM power with RAPL/PAPI. We model the
+same two domains from quantities the execution engine already produces:
+
+* **Package** = baseline + dynamic (proportional to achieved fraction of
+  FLOP peak) + OPM contribution. The OPM draws static power whenever it
+  is powered — eDRAM can be physically disabled in BIOS (no static draw
+  when off), MCDRAM cannot (its static power is burned even in the
+  "w/o MCDRAM" configuration) — plus an activity term proportional to its
+  bandwidth utilization.
+* **DRAM** = standby + a per-GB/s activity term. Using the OPM *reduces*
+  DRAM power by absorbing traffic, which is how the paper's Figure 27
+  shows flat-mode MCDRAM sometimes lowering DDR (and even total) power.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine.exectime import RunResult
+from repro.platforms.spec import MachineSpec
+
+#: OPM activity power at full bandwidth utilization (watts).
+EDRAM_ACTIVE_W = 5.0
+MCDRAM_ACTIVE_W = 12.0
+
+#: DRAM domain: standby plus per-GB/s activity.
+DRAM_STANDBY_W = {"Broadwell": 1.8, "Knights Landing": 6.0}
+DRAM_W_PER_GBS = {"Broadwell": 0.09, "Knights Landing": 0.06}
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerSample:
+    """Average power over one kernel run, RAPL-domain style."""
+
+    kernel: str
+    machine: str
+    package_w: float
+    dram_w: float
+    seconds: float
+
+    @property
+    def total_w(self) -> float:
+        return self.package_w + self.dram_w
+
+    @property
+    def energy_j(self) -> float:
+        return self.total_w * self.seconds
+
+
+def measure(
+    result: RunResult,
+    machine: MachineSpec,
+    *,
+    opm_powered: bool = True,
+    achieved_fraction: float | None = None,
+) -> PowerSample:
+    """Model the average power of a completed run.
+
+    ``opm_powered`` reflects the BIOS switch: False only for eDRAM-off
+    runs (MCDRAM cannot be powered down; pass True even for the
+    "w/o MCDRAM" mode, per paper Section 5.2).
+    """
+    if achieved_fraction is None:
+        achieved_fraction = min(1.0, result.gflops / machine.dp_peak_gflops)
+    package = (
+        machine.base_package_power_w
+        + machine.max_dynamic_power_w * achieved_fraction
+    )
+    if machine.opm is not None and opm_powered:
+        package += machine.opm.static_power_w
+        opm_rate_gbs = (
+            result.opm_bytes / result.seconds / 1e9 if result.seconds > 0 else 0.0
+        )
+        utilization = min(1.0, opm_rate_gbs / machine.opm.bandwidth)
+        active = (
+            EDRAM_ACTIVE_W
+            if machine.opm.kind == "victim-cache"
+            else MCDRAM_ACTIVE_W
+        )
+        package += active * utilization
+    dram_rate_gbs = (
+        result.dram_bytes / result.seconds / 1e9 if result.seconds > 0 else 0.0
+    )
+    dram = DRAM_STANDBY_W.get(machine.arch, 2.0) + DRAM_W_PER_GBS.get(
+        machine.arch, 0.08
+    ) * min(dram_rate_gbs, machine.dram.bandwidth)
+    return PowerSample(
+        kernel=result.kernel,
+        machine=machine.name,
+        package_w=package,
+        dram_w=dram,
+        seconds=result.seconds,
+    )

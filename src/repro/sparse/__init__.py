@@ -1,0 +1,66 @@
+"""Sparse-matrix substrate: formats, preprocessing, generators, collection."""
+
+from repro.sparse.collection import (
+    COLLECTION_SIZE,
+    MIN_NNZ,
+    build_collection,
+    footprint_mb,
+    materializable,
+)
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.csr5 import CSR5Matrix, decode, encode, spmv_csr5
+from repro.sparse.descriptors import (
+    MATERIALIZE_NNZ_LIMIT,
+    MatrixDescriptor,
+    default_locality,
+    default_parallelism,
+    from_matrix,
+    from_params,
+    measure_structure,
+)
+from repro.sparse.generators import FAMILIES, generate
+from repro.sparse.levels import LevelSchedule, build_levels
+from repro.sparse.mmio import read_mm, round_trip, write_mm
+from repro.sparse.segsort import order_rows_by_length, segmented_argsort, segmented_sort
+from repro.sparse.syncfree import (
+    ScheduleResult,
+    scheduling_speedup,
+    simulate_schedule,
+    solve_syncfree,
+)
+
+__all__ = [
+    "COLLECTION_SIZE",
+    "CSCMatrix",
+    "CSR5Matrix",
+    "CSRMatrix",
+    "FAMILIES",
+    "LevelSchedule",
+    "MATERIALIZE_NNZ_LIMIT",
+    "MIN_NNZ",
+    "MatrixDescriptor",
+    "build_collection",
+    "build_levels",
+    "decode",
+    "default_locality",
+    "default_parallelism",
+    "encode",
+    "footprint_mb",
+    "from_matrix",
+    "from_params",
+    "generate",
+    "materializable",
+    "measure_structure",
+    "order_rows_by_length",
+    "read_mm",
+    "ScheduleResult",
+    "scheduling_speedup",
+    "simulate_schedule",
+    "solve_syncfree",
+    "round_trip",
+    "segmented_argsort",
+    "segmented_sort",
+    "spmv_csr5",
+    "write_mm",
+]

@@ -1,0 +1,97 @@
+"""The synthetic 968-matrix collection.
+
+Stand-in for the paper's input set: all square UF/SuiteSparse matrices
+with nnz > 200 000 (968 of 2757 at the time — Section 3.3). We produce
+exactly 968 deterministic descriptors whose memory footprints
+(12·nnz + 20·M bytes, Table 2) are log-uniform between ~2.4 MB and ~16 GB,
+the range the paper's footprint axes span, with structure families mixed
+in realistic proportions (grid/banded problems dominate the public
+collection; scale-free graphs are a sizable minority).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.sparse.descriptors import MatrixDescriptor, from_params
+
+#: Size of the paper's input set.
+COLLECTION_SIZE = 968
+
+#: Minimum nnz filter the paper applies.
+MIN_NNZ = 200_000
+
+#: Footprint range targeted by the sampler (bytes).
+MIN_FOOTPRINT = 12 * MIN_NNZ + 20 * 1_000  # ≈ 2.4 MB
+MAX_FOOTPRINT = 16 * 1024**3  # 16 GiB — past MCDRAM capacity
+
+#: Family mix (weights loosely matching the public collection's makeup).
+_FAMILY_WEIGHTS: dict[str, float] = {
+    "grid2d": 0.16,
+    "grid3d": 0.12,
+    "banded": 0.18,
+    "block": 0.14,
+    "random": 0.12,
+    "powerlaw": 0.12,
+    "rmat": 0.12,
+    "tridiag": 0.04,
+}
+
+_COLLECTION_SEED = 20170  # SC '17
+
+
+def build_collection(
+    size: int = COLLECTION_SIZE,
+    *,
+    seed: int = _COLLECTION_SEED,
+    max_footprint: int = MAX_FOOTPRINT,
+) -> list[MatrixDescriptor]:
+    """Deterministically build the descriptor collection.
+
+    The same ``(size, seed)`` always yields the same matrices, so every
+    experiment, test and benchmark sees identical inputs.
+    """
+    rng = np.random.default_rng(seed)
+    families = list(_FAMILY_WEIGHTS)
+    weights = np.array([_FAMILY_WEIGHTS[f] for f in families])
+    weights = weights / weights.sum()
+    descriptors: list[MatrixDescriptor] = []
+    log_lo = np.log(MIN_FOOTPRINT)
+    log_hi = np.log(max_footprint)
+    for k in range(size):
+        family = families[int(rng.choice(len(families), p=weights))]
+        footprint = float(np.exp(rng.uniform(log_lo, log_hi)))
+        # Row-degree (nnz per row) log-uniform in [4, 256): spans the
+        # stencil-like and the denser FEM-like regimes.
+        row_deg = float(np.exp(rng.uniform(np.log(4.0), np.log(256.0))))
+        # footprint = 12*nnz + 20*nnz/row_deg  =>  nnz = fp / (12 + 20/deg)
+        nnz = max(MIN_NNZ + 1, int(footprint / (12.0 + 20.0 / row_deg)))
+        n_rows = max(64, int(nnz / row_deg))
+        mseed = int(rng.integers(0, 2**31 - 1))
+        descriptors.append(
+            from_params(
+                name=f"syn{k:04d}_{family}",
+                family=family,
+                n_rows=n_rows,
+                nnz=nnz,
+                seed=mseed,
+                jitter=0.3,
+            )
+        )
+    return descriptors
+
+
+def materializable(
+    collection: list[MatrixDescriptor] | None = None,
+) -> Iterator[MatrixDescriptor]:
+    """Descriptors small enough to generate as real matrices."""
+    for d in collection if collection is not None else build_collection():
+        if d.can_materialize:
+            yield d
+
+
+def footprint_mb(d: MatrixDescriptor) -> float:
+    """Footprint in MB, the x-axis unit of Figures 9–11 and 17–19."""
+    return d.footprint_bytes / (1024.0 * 1024.0)

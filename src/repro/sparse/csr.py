@@ -1,0 +1,154 @@
+"""Compressed Sparse Row container.
+
+A minimal, validated CSR matrix built on NumPy arrays. The kernels in
+:mod:`repro.kernels` operate on this container directly; conversions to
+SciPy exist only for test oracles.
+
+The memory footprint follows the paper's Table 2 accounting for SpMV:
+``12*nnz + 20*M`` bytes — 8-byte values + 4-byte column indices per
+nonzero, 4-byte row pointers plus the 8-byte x and y vectors per row.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclasses.dataclass
+class CSRMatrix:
+    """CSR sparse matrix (double values, int32 indices)."""
+
+    n_rows: int
+    n_cols: int
+    indptr: np.ndarray  # int64[n_rows + 1]
+    indices: np.ndarray  # int32[nnz], column ids, sorted within each row
+    data: np.ndarray  # float64[nnz]
+
+    def __post_init__(self) -> None:
+        self.indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int32)
+        self.data = np.ascontiguousarray(self.data, dtype=np.float64)
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if len(self.indptr) != self.n_rows + 1:
+            raise ValueError("indptr length must be n_rows + 1")
+        if self.indptr[0] != 0 or np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must start at 0 and be non-decreasing")
+        if self.indptr[-1] != len(self.indices) or len(self.indices) != len(self.data):
+            raise ValueError("indices/data length must equal indptr[-1]")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.n_cols
+        ):
+            raise ValueError("column index out of range")
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def is_square(self) -> bool:
+        return self.n_rows == self.n_cols
+
+    def row_nnz(self) -> np.ndarray:
+        """Number of nonzeros per row."""
+        return np.diff(self.indptr)
+
+    def footprint_bytes(self) -> int:
+        """SpMV working footprint per paper Table 2: 12*nnz + 20*M."""
+        return 12 * self.nnz + 20 * self.n_rows
+
+    def column_span(self) -> float:
+        """Mean per-row span of touched columns (x-vector locality proxy)."""
+        if self.nnz == 0:
+            return 0.0
+        starts = self.indptr[:-1]
+        ends = self.indptr[1:]
+        mask = ends > starts
+        if not mask.any():
+            return 0.0
+        first = self.indices[starts[mask]]
+        last = self.indices[ends[mask] - 1]
+        return float(np.mean(last - first + 1))
+
+    # -- operations ------------------------------------------------------------
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """(column ids, values) of row ``i`` as views."""
+        lo, hi = int(self.indptr[i]), int(self.indptr[i + 1])
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def diagonal(self) -> np.ndarray:
+        """Main-diagonal values (zeros where absent)."""
+        diag = np.zeros(min(self.n_rows, self.n_cols))
+        for i in range(min(self.n_rows, self.n_cols)):
+            cols, vals = self.row(i)
+            pos = np.searchsorted(cols, i)
+            if pos < len(cols) and cols[pos] == i:
+                diag[i] = vals[pos]
+        return diag
+
+    def lower_triangle(self, *, unit_diagonal_fill: float = 1.0) -> "CSRMatrix":
+        """Strictly-lower + diagonal part, inserting missing diagonal entries.
+
+        Mirrors the paper's SpTRSV preparation (appendix A.2.5): "a
+        diagonal is added to any singular matrices to make them
+        nonsingular, and the lower triangular part is tested".
+        """
+        if not self.is_square:
+            raise ValueError("lower_triangle requires a square matrix")
+        coo = self.to_scipy().tocoo()
+        keep = coo.row >= coo.col
+        rows = coo.row[keep]
+        cols = coo.col[keep]
+        vals = coo.data[keep]
+        present = np.zeros(self.n_rows, dtype=bool)
+        present[rows[rows == cols]] = True
+        missing = np.flatnonzero(~present)
+        rows = np.concatenate([rows, missing])
+        cols = np.concatenate([cols, missing])
+        vals = np.concatenate([vals, np.full(len(missing), unit_diagonal_fill)])
+        lower = sp.coo_matrix((vals, (rows, cols)), shape=self.shape).tocsr()
+        # Guard against zero diagonals that survived (explicit zeros).
+        dg = lower.diagonal()
+        zero = dg == 0.0
+        if zero.any():
+            lower = lower + sp.diags(np.where(zero, unit_diagonal_fill, 0.0))
+        return CSRMatrix.from_scipy(lower.tocsr())
+
+    # -- conversions -----------------------------------------------------------
+
+    @classmethod
+    def from_scipy(cls, m: sp.spmatrix) -> "CSRMatrix":
+        csr = m.tocsr()
+        csr.sort_indices()
+        return cls(
+            n_rows=csr.shape[0],
+            n_cols=csr.shape[1],
+            indptr=csr.indptr,
+            indices=csr.indices,
+            data=csr.data,
+        )
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        return cls.from_scipy(sp.csr_matrix(np.asarray(dense, dtype=np.float64)))
+
+    def to_scipy(self) -> sp.csr_matrix:
+        return sp.csr_matrix(
+            (self.data, self.indices, self.indptr), shape=self.shape
+        )
+
+    def to_dense(self) -> np.ndarray:
+        return self.to_scipy().toarray()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRMatrix({self.n_rows}x{self.n_cols}, nnz={self.nnz})"

@@ -1,0 +1,97 @@
+"""Matrix Market (coordinate) I/O.
+
+The paper's artifact distributes its 968 inputs as ``.mtx`` files from the
+UF (SuiteSparse) collection. We implement the coordinate subset of the
+format — real/integer/pattern fields, general/symmetric symmetry — so the
+synthetic collection can round-trip through the same file format the
+original kernels consumed.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.csr import CSRMatrix
+
+_HEADER = "%%MatrixMarket matrix coordinate {field} {symmetry}\n"
+
+
+def write_mm(matrix: CSRMatrix, dest: str | Path | TextIO, *, comment: str = "") -> None:
+    """Write a CSR matrix in coordinate/real/general Matrix Market form."""
+    coo = matrix.to_scipy().tocoo()
+    own = isinstance(dest, (str, Path))
+    fh: TextIO = open(dest, "w") if own else dest  # type: ignore[arg-type]
+    try:
+        fh.write(_HEADER.format(field="real", symmetry="general"))
+        if comment:
+            for line in comment.splitlines():
+                fh.write(f"%{line}\n")
+        fh.write(f"{matrix.n_rows} {matrix.n_cols} {coo.nnz}\n")
+        for r, c, v in zip(coo.row, coo.col, coo.data):
+            fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")
+    finally:
+        if own:
+            fh.close()
+
+
+def read_mm(src: str | Path | TextIO) -> CSRMatrix:
+    """Read a coordinate Matrix Market file into CSR.
+
+    Supports ``real``/``integer``/``pattern`` fields and ``general``/
+    ``symmetric``/``skew-symmetric`` symmetry (pattern entries become 1.0).
+    """
+    own = isinstance(src, (str, Path))
+    fh: TextIO = open(src) if own else src  # type: ignore[arg-type]
+    try:
+        header = fh.readline()
+        parts = header.strip().split()
+        if (
+            len(parts) < 5
+            or parts[0] != "%%MatrixMarket"
+            or parts[1].lower() != "matrix"
+            or parts[2].lower() != "coordinate"
+        ):
+            raise ValueError(f"unsupported MatrixMarket header: {header.strip()!r}")
+        field = parts[3].lower()
+        symmetry = parts[4].lower()
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"unsupported field type: {field}")
+        if symmetry not in ("general", "symmetric", "skew-symmetric"):
+            raise ValueError(f"unsupported symmetry: {symmetry}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        n_rows, n_cols, nnz = (int(tok) for tok in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            toks = fh.readline().split()
+            rows[k] = int(toks[0]) - 1
+            cols[k] = int(toks[1]) - 1
+            vals[k] = float(toks[2]) if field != "pattern" else 1.0
+    finally:
+        if own:
+            fh.close()
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirror_rows, mirror_cols, mirror_vals = cols[off], rows[off], sign * vals[off]
+        rows = np.concatenate([rows, mirror_rows])
+        cols = np.concatenate([cols, mirror_cols])
+        vals = np.concatenate([vals, mirror_vals])
+    coo = sp.coo_matrix((vals, (rows, cols)), shape=(n_rows, n_cols))
+    return CSRMatrix.from_scipy(coo.tocsr())
+
+
+def round_trip(matrix: CSRMatrix) -> CSRMatrix:
+    """Write + read through an in-memory buffer (testing helper)."""
+    buf = io.StringIO()
+    write_mm(matrix, buf)
+    buf.seek(0)
+    return read_mm(buf)

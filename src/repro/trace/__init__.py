@@ -1,0 +1,31 @@
+"""Access-trace infrastructure: events, synthetic generators, stack distances."""
+
+from repro.trace.events import Access, reads, to_line_trace, writes
+from repro.trace.generator import (
+    pointer_chase,
+    repeated_sweep,
+    sequential,
+    strided,
+    tiled_2d,
+    uniform_random,
+)
+from repro.trace.reservoir import Reservoir, SampledProfile, sampled_stack_distances
+from repro.trace.stackdist import StackDistanceProfile, stack_distances
+
+__all__ = [
+    "Access",
+    "Reservoir",
+    "SampledProfile",
+    "StackDistanceProfile",
+    "pointer_chase",
+    "reads",
+    "repeated_sweep",
+    "sampled_stack_distances",
+    "sequential",
+    "stack_distances",
+    "strided",
+    "tiled_2d",
+    "to_line_trace",
+    "uniform_random",
+    "writes",
+]

@@ -1,0 +1,50 @@
+"""Access-trace event records.
+
+A trace is a sequence of :class:`Access` events at byte granularity; the
+simulator consumes the line-granular expansion via
+:func:`repro.memory.cacheline.lines_touched`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Iterator
+
+from repro.memory.cacheline import lines_touched
+from repro.platforms.spec import LINE_BYTES
+
+
+@dataclasses.dataclass(frozen=True)
+class Access:
+    """One memory reference issued by a kernel."""
+
+    addr: int  # byte address
+    size: int = 8  # bytes (double-precision word by default)
+    write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError("addr must be non-negative")
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+
+
+def to_line_trace(
+    accesses: Iterable[Access], line: int = LINE_BYTES
+) -> Iterator[tuple[int, bool]]:
+    """Expand byte-level accesses into (line_addr, is_write) pairs."""
+    for acc in accesses:
+        for line_addr in lines_touched(acc.addr, acc.size, line):
+            yield line_addr, acc.write
+
+
+def reads(addrs: Iterable[int], size: int = 8) -> Iterator[Access]:
+    """Wrap raw addresses as read accesses."""
+    for addr in addrs:
+        yield Access(addr, size=size, write=False)
+
+
+def writes(addrs: Iterable[int], size: int = 8) -> Iterator[Access]:
+    """Wrap raw addresses as write accesses."""
+    for addr in addrs:
+        yield Access(addr, size=size, write=True)

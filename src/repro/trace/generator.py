@@ -1,0 +1,101 @@
+"""Synthetic address-stream generators.
+
+These produce the canonical access patterns the kernels decompose into:
+sequential streaming, constant-stride scans, 2-D tile sweeps, uniform
+random access and dependent pointer chasing. The trace simulator and the
+analytic engine are cross-validated on these streams (tests/test_engine_*).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.trace.events import Access
+
+
+def sequential(
+    base: int, n_words: int, *, word: int = 8, write: bool = False
+) -> Iterator[Access]:
+    """A unit-stride scan over ``n_words`` words starting at ``base``."""
+    for i in range(n_words):
+        yield Access(base + i * word, size=word, write=write)
+
+
+def strided(
+    base: int, n_accesses: int, stride: int, *, word: int = 8, write: bool = False
+) -> Iterator[Access]:
+    """A constant-stride scan (``stride`` in bytes)."""
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    for i in range(n_accesses):
+        yield Access(base + i * stride, size=word, write=write)
+
+
+def repeated_sweep(
+    base: int, n_words: int, sweeps: int, *, word: int = 8, write: bool = False
+) -> Iterator[Access]:
+    """``sweeps`` back-to-back sequential passes over the same buffer.
+
+    This is the minimal workload exhibiting a cache peak: once the buffer
+    fits a level, every sweep after the first hits there.
+    """
+    for _ in range(sweeps):
+        yield from sequential(base, n_words, word=word, write=write)
+
+
+def tiled_2d(
+    base: int,
+    rows: int,
+    cols: int,
+    tile_rows: int,
+    tile_cols: int,
+    *,
+    word: int = 8,
+    write: bool = False,
+) -> Iterator[Access]:
+    """Row-major traversal of a matrix in tiles (GEMM-style blocking)."""
+    if tile_rows <= 0 or tile_cols <= 0:
+        raise ValueError("tile dims must be positive")
+    for ti in range(0, rows, tile_rows):
+        for tj in range(0, cols, tile_cols):
+            for i in range(ti, min(ti + tile_rows, rows)):
+                for j in range(tj, min(tj + tile_cols, cols)):
+                    yield Access(base + (i * cols + j) * word, size=word, write=write)
+
+
+def uniform_random(
+    base: int,
+    span_words: int,
+    n_accesses: int,
+    *,
+    word: int = 8,
+    write: bool = False,
+    seed: int = 0,
+) -> Iterator[Access]:
+    """Uniformly random word accesses within a buffer (SpMV x-vector style)."""
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, span_words, size=n_accesses)
+    for i in idx:
+        yield Access(base + int(i) * word, size=word, write=write)
+
+
+def pointer_chase(
+    base: int,
+    span_words: int,
+    n_accesses: int,
+    *,
+    word: int = 8,
+    seed: int = 0,
+) -> Iterator[Access]:
+    """A dependent random walk: each address derived from the previous.
+
+    Models latency-bound kernels (SpTRSV's dependency chains): there is no
+    memory-level parallelism in this stream by construction.
+    """
+    rng = np.random.default_rng(seed)
+    pos = 0
+    for _ in range(n_accesses):
+        yield Access(base + pos * word, size=word, write=False)
+        pos = int(rng.integers(0, span_words))

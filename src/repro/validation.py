@@ -1,0 +1,137 @@
+"""Model-validation harness: analytic engine vs exact trace simulation.
+
+DESIGN.md promises the analytic hit-rate model (reuse curve evaluated at
+cumulative capacities) agrees with the exact set-associative simulator on
+canonical access patterns. This module runs a *workload zoo* through
+both paths and reports per-level hit-rate errors, giving the reproduction
+a quantified accuracy statement (also enforced in
+``tests/test_validation.py`` and surfaced via ``opm-repro validate``).
+
+Method: for each zoo workload we (1) generate its address trace, (2) run
+the scaled-down exact hierarchy, (3) compute the trace's *measured*
+stack-distance curve, and (4) compare the cumulative hit fractions the
+curve predicts at each level's cumulative capacity with the simulator's
+measured ones. The curve-vs-simulator error isolates exactly the
+approximations the analytic engine makes (full associativity, no
+replacement-policy effects).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.memory import for_broadwell
+from repro.platforms import MachineSpec, broadwell
+from repro.trace import (
+    Access,
+    pointer_chase,
+    repeated_sweep,
+    stack_distances,
+    strided,
+    tiled_2d,
+    to_line_trace,
+    uniform_random,
+)
+
+#: Scale factor for fast exact simulation of realistic capacity ratios.
+SCALE = 0.001
+
+
+@dataclasses.dataclass(frozen=True)
+class LevelError:
+    level: str
+    predicted_hit: float
+    simulated_hit: float
+
+    @property
+    def abs_error(self) -> float:
+        return abs(self.predicted_hit - self.simulated_hit)
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationCase:
+    """One zoo workload's validation outcome."""
+
+    name: str
+    levels: tuple[LevelError, ...]
+
+    @property
+    def max_abs_error(self) -> float:
+        return max((l.abs_error for l in self.levels), default=0.0)
+
+    @property
+    def mean_abs_error(self) -> float:
+        if not self.levels:
+            return 0.0
+        return sum(l.abs_error for l in self.levels) / len(self.levels)
+
+
+def workload_zoo() -> dict[str, Callable[[], Iterator[Access]]]:
+    """Canonical patterns the kernels decompose into."""
+    return {
+        "sequential-stream": lambda: repeated_sweep(0, 20_000, 1),
+        "repeated-sweep-small": lambda: repeated_sweep(0, 500, 8),
+        "repeated-sweep-l3": lambda: repeated_sweep(0, 6_000, 6),
+        "strided-512B": lambda: strided(0, 8_000, 512),
+        "tiled-matrix": lambda: tiled_2d(0, 96, 96, 16, 16),
+        "uniform-random": lambda: uniform_random(0, 3_000, 15_000, seed=3),
+        "pointer-chase": lambda: pointer_chase(0, 2_000, 8_000, seed=4),
+    }
+
+
+def validate_case(
+    name: str,
+    accesses: Iterator[Access],
+    machine: MachineSpec | None = None,
+) -> ValidationCase:
+    """Run one workload through both paths and collect per-level errors."""
+    machine = machine if machine is not None else broadwell()
+    hierarchy = for_broadwell(machine, scale=SCALE)
+    trace = list(to_line_trace(accesses))
+    lines = [l for l, _ in trace]
+    profile = stack_distances(lines)
+    stats = hierarchy.run(iter(trace))
+    total = stats.total_accesses
+    errors = []
+    cum_capacity = 0
+    cum_hits = 0
+    for stage in hierarchy._stages:
+        cum_capacity += stage.cache.capacity
+        cum_hits += stage.stats.hits
+        predicted = profile.hit_rate(cum_capacity // 64)
+        simulated = cum_hits / total if total else 0.0
+        errors.append(
+            LevelError(
+                level=stage.name,
+                predicted_hit=predicted,
+                simulated_hit=simulated,
+            )
+        )
+    return ValidationCase(name=name, levels=tuple(errors))
+
+
+def validate_all(machine: MachineSpec | None = None) -> list[ValidationCase]:
+    """Validate the whole zoo; deterministic."""
+    return [
+        validate_case(name, factory(), machine)
+        for name, factory in workload_zoo().items()
+    ]
+
+
+def report(cases: list[ValidationCase]) -> str:
+    """Human-readable accuracy report."""
+    lines = [
+        "analytic-vs-exact hit-rate validation (Broadwell shape, scaled)",
+        f"{'workload':<24} {'mean |err|':>10} {'max |err|':>10}",
+    ]
+    for case in cases:
+        lines.append(
+            f"{case.name:<24} {case.mean_abs_error:10.4f} "
+            f"{case.max_abs_error:10.4f}"
+        )
+    worst = max(c.max_abs_error for c in cases) if cases else 0.0
+    lines.append(f"worst-case per-level error: {worst:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""ASCII renderings of the paper's figure types.
+
+matplotlib is unavailable in the offline environment, so every figure is
+emitted as (a) CSV series via :mod:`repro.viz.csvout` and (b) a terminal
+rendering from this module: shaded heatmaps for the GEMM/Cholesky and
+structure figures, log-x line charts for the Stepping-style curves,
+scatter clouds for the 968-matrix sweeps and bar charts for power.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+#: Light-to-dark shading ramp used by heatmaps (blue->red in the paper).
+SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, lo: float, hi: float) -> str:
+    if not math.isfinite(value):
+        return "?"
+    if hi <= lo:
+        return SHADES[-1]
+    t = (value - lo) / (hi - lo)
+    return SHADES[min(len(SHADES) - 1, max(0, int(t * (len(SHADES) - 1) + 0.5)))]
+
+
+def heatmap(
+    values: np.ndarray,
+    *,
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+    title: str = "",
+    width_per_cell: int = 1,
+) -> str:
+    """Shaded 2-D heatmap (rows printed top to bottom)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError("heatmap expects a 2-D array")
+    finite = values[np.isfinite(values)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append(f"  scale: '{SHADES[0]}'={lo:.3g} .. '{SHADES[-1]}'={hi:.3g}")
+    label_w = max((len(str(r)) for r in row_labels), default=0) if row_labels else 0
+    for i, row in enumerate(values):
+        cells = "".join(_shade(v, lo, hi) * width_per_cell for v in row)
+        prefix = f"{row_labels[i]:>{label_w}} |" if row_labels else "|"
+        lines.append(f"{prefix}{cells}|")
+    if col_labels:
+        lines.append(" " * (label_w + 1) + f" {col_labels[0]} .. {col_labels[-1]}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    *,
+    title: str = "",
+    height: int = 16,
+    width: int = 72,
+    log_x: bool = True,
+    y_label: str = "GFlop/s",
+) -> str:
+    """Multi-series line chart on a character canvas."""
+    x = np.asarray(x, dtype=np.float64)
+    if log_x:
+        x = np.log2(np.maximum(x, 1e-30))
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64) for v in series.values()])
+    finite = all_y[np.isfinite(all_y)]
+    y_lo, y_hi = (float(finite.min()), float(finite.max())) if finite.size else (0, 1)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(x.min()), float(x.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for idx, (name, ys) in enumerate(series.items()):
+        mark = markers[idx % len(markers)]
+        for xv, yv in zip(x, np.asarray(ys, dtype=np.float64)):
+            if not (math.isfinite(xv) and math.isfinite(yv)):
+                continue
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            canvas[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} +" + "-" * width)
+    for row in canvas:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:10.3g} +" + "-" * width)
+    axis = "log2(x)" if log_x else "x"
+    lines.append(" " * 12 + f"{axis}: {x_lo:.2f} .. {x_hi:.2f}   y: {y_label}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    title: str = "",
+    height: int = 14,
+    width: int = 72,
+    log_x: bool = True,
+) -> str:
+    """Single-cloud scatter plot (Figures 9-11 top panels)."""
+    return line_chart(
+        np.asarray(x),
+        {"points": np.asarray(y)},
+        title=title,
+        height=height,
+        width=width,
+        log_x=log_x,
+    )
+
+
+def bar_chart(
+    labels: Sequence[str],
+    groups: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    width: int = 48,
+    unit: str = "W",
+) -> str:
+    """Grouped horizontal bars (Figures 26/27)."""
+    all_vals = [v for vs in groups.values() for v in vs]
+    hi = max(all_vals) if all_vals else 1.0
+    lines = [title] if title else []
+    label_w = max(len(str(l)) for l in labels)
+    group_w = max(len(g) for g in groups)
+    for i, label in enumerate(labels):
+        for gname, vals in groups.items():
+            v = vals[i]
+            n = int(v / hi * width) if hi > 0 else 0
+            lines.append(
+                f"{label:>{label_w}} {gname:<{group_w}} |{'#' * n}{' ' * (width - n)}| {v:8.2f} {unit}"
+            )
+    return "\n".join(lines)
+
+
+def density_plot(
+    grid: np.ndarray,
+    densities: dict[str, np.ndarray],
+    *,
+    title: str = "",
+) -> str:
+    """Probability-density comparison (Figure 1)."""
+    return line_chart(
+        grid, densities, title=title, log_x=False, y_label="density"
+    )

@@ -1,0 +1,95 @@
+"""Automatic SVG rendering of experiment result tables.
+
+Experiments emit data tables, not plot objects; this module recognizes
+the two tabular shapes the paper's figures use and renders them:
+
+* **Curve tables** — first column numeric and strictly increasing
+  (``size_bytes``, ``footprint_mb``, ...), remaining numeric columns are
+  series → log-x line chart.
+* **Dense sweep tables** — columns ``(order, tile, <mode>...)`` → one
+  heatmap per mode over the (tile, order) grid.
+
+Tables that match neither shape are skipped (they are data, not figures).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.results import DataTable, ExperimentResult
+from repro.viz.svg import heatmap_svg, line_chart_svg, write_svg
+
+
+def _numeric(values) -> np.ndarray | None:
+    try:
+        arr = np.asarray([float(v) for v in values], dtype=np.float64)
+    except (TypeError, ValueError):
+        return None
+    return arr
+
+
+def _curve_svg(table: DataTable, title: str) -> str | None:
+    if len(table.columns) < 2 or len(table.rows) < 3:
+        return None
+    x = _numeric(table.column(table.columns[0]))
+    if x is None or np.any(np.diff(x) <= 0) or x.min() <= 0:
+        return None
+    series = {}
+    for col in table.columns[1:]:
+        y = _numeric(table.column(col))
+        if y is None:
+            return None
+        series[col] = y
+    return line_chart_svg(
+        x, series, title=title, x_label=str(table.columns[0])
+    )
+
+
+def _dense_svgs(table: DataTable, title: str) -> dict[str, str]:
+    if tuple(table.columns[:2]) != ("order", "tile"):
+        return {}
+    orders = sorted({row[0] for row in table.rows})
+    tiles = sorted({row[1] for row in table.rows})
+    index = {(row[0], row[1]): row for row in table.rows}
+    out = {}
+    for k, mode in enumerate(table.columns[2:], start=2):
+        grid = np.full((len(tiles), len(orders)), np.nan)
+        for i, t in enumerate(tiles):
+            for j, o in enumerate(orders):
+                row = index.get((o, t))
+                if row is not None:
+                    grid[i, j] = float(row[k])
+        safe = mode.replace("/", "_").replace(" ", "_")
+        out[safe] = heatmap_svg(
+            grid[::-1],
+            title=f"{title} — {mode} (GFlop/s)",
+            row_labels=[str(t) for t in tiles[::-1]],
+            col_labels=[str(o) for o in orders],
+        )
+    return out
+
+
+def svgs_for(result: ExperimentResult) -> dict[str, str]:
+    """filename stem -> SVG text, for every renderable table."""
+    out: dict[str, str] = {}
+    for table in result.tables:
+        dense = _dense_svgs(table, result.title)
+        if dense:
+            for mode, svg in dense.items():
+                out[f"{table.name}_{mode}"] = svg
+            continue
+        curve = _curve_svg(table, result.title)
+        if curve is not None:
+            out[table.name] = curve
+    return out
+
+
+def write_svgs(result: ExperimentResult, out_dir: str | Path) -> list[Path]:
+    """Write all renderable figures under ``out_dir/<experiment_id>/``."""
+    base = Path(out_dir) / result.experiment_id
+    return [
+        write_svg(base / f"{stem}.svg", svg)
+        for stem, svg in svgs_for(result).items()
+    ]

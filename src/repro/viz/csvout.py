@@ -1,0 +1,30 @@
+"""CSV serialization of experiment tables."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def to_csv_string(columns: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a column-named table as CSV text."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(columns)
+    for row in rows:
+        writer.writerow(list(row))
+    return buf.getvalue()
+
+
+def write_csv(
+    path: str | Path,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write a table to ``path`` (parent directories created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_csv_string(columns, rows))
+    return path

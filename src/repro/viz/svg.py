@@ -1,0 +1,237 @@
+"""Hand-rolled SVG rendering — publication-style figures with no matplotlib.
+
+The offline environment has no plotting stack, so this module writes
+standalone SVG directly: log-x line charts for the Stepping-style curves
+and color-mapped heatmaps for the dense/structure figures. Output is
+plain XML viewable in any browser; `opm-repro run <id> --svg-dir out/`
+emits one file per rendered figure.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+#: Categorical line colors (colorblind-safe Okabe-Ito subset).
+PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9")
+
+WIDTH, HEIGHT = 640, 400
+MARGIN_L, MARGIN_R, MARGIN_T, MARGIN_B = 70, 20, 36, 56
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _fmt_tick(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e4 or abs(v) < 1e-2:
+        return f"{v:.1e}"
+    return f"{v:.4g}"
+
+
+def _svg_header(title: str) -> list[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        'font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        f'<text x="{WIDTH / 2}" y="22" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{_esc(title)}</text>',
+    ]
+
+
+def line_chart_svg(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    x_label: str = "size",
+    y_label: str = "GFlop/s",
+    log_x: bool = True,
+) -> str:
+    """Multi-series line chart as a standalone SVG document."""
+    xv = np.asarray(list(x), dtype=np.float64)
+    if log_x:
+        xv = np.log10(np.maximum(xv, 1e-30))
+    all_y = np.concatenate(
+        [np.asarray(list(v), dtype=np.float64) for v in series.values()]
+    )
+    finite = all_y[np.isfinite(all_y)]
+    y_lo = float(finite.min()) if finite.size else 0.0
+    y_hi = float(finite.max()) if finite.size else 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    y_lo = min(0.0, y_lo)
+    x_lo, x_hi = float(xv.min()), float(xv.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    def px(v: float) -> float:
+        return MARGIN_L + (v - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(v: float) -> float:
+        return MARGIN_T + (1.0 - (v - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts = _svg_header(title)
+    # Axes and gridlines.
+    parts.append(
+        f'<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>'
+    )
+    for i in range(5):
+        yv = y_lo + (y_hi - y_lo) * i / 4
+        parts.append(
+            f'<line x1="{MARGIN_L}" y1="{py(yv):.1f}" '
+            f'x2="{MARGIN_L + plot_w}" y2="{py(yv):.1f}" '
+            'stroke="#ddd" stroke-dasharray="3,3"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_L - 6}" y="{py(yv) + 4:.1f}" '
+            f'text-anchor="end" font-size="10">{_fmt_tick(yv)}</text>'
+        )
+    for i in range(5):
+        xvv = x_lo + (x_hi - x_lo) * i / 4
+        label = _fmt_tick(10**xvv) if log_x else _fmt_tick(xvv)
+        parts.append(
+            f'<text x="{px(xvv):.1f}" y="{MARGIN_T + plot_h + 16}" '
+            f'text-anchor="middle" font-size="10">{label}</text>'
+        )
+    parts.append(
+        f'<text x="{MARGIN_L + plot_w / 2}" y="{HEIGHT - 18}" '
+        f'text-anchor="middle" font-size="11">{_esc(x_label)}'
+        f'{" (log)" if log_x else ""}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{MARGIN_T + plot_h / 2}" text-anchor="middle" '
+        f'font-size="11" transform="rotate(-90 16 {MARGIN_T + plot_h / 2})">'
+        f"{_esc(y_label)}</text>"
+    )
+    # Series.
+    for idx, (name, ys) in enumerate(series.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        yv = np.asarray(list(ys), dtype=np.float64)
+        pts = [
+            f"{px(a):.1f},{py(b):.1f}"
+            for a, b in zip(xv, yv)
+            if math.isfinite(a) and math.isfinite(b)
+        ]
+        if pts:
+            parts.append(
+                f'<polyline points="{" ".join(pts)}" fill="none" '
+                f'stroke="{color}" stroke-width="1.8"/>'
+            )
+        # Legend entry.
+        lx = MARGIN_L + 8
+        ly = MARGIN_T + 14 + idx * 15
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 23}" y="{ly}" font-size="10">{_esc(name)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _viridis_like(t: float) -> str:
+    """Cheap perceptual color ramp (dark blue -> teal -> yellow)."""
+    t = min(1.0, max(0.0, t))
+    stops = [
+        (0.0, (68, 1, 84)),
+        (0.33, (49, 104, 142)),
+        (0.66, (53, 183, 121)),
+        (1.0, (253, 231, 37)),
+    ]
+    for (t0, c0), (t1, c1) in zip(stops, stops[1:]):
+        if t <= t1:
+            f = (t - t0) / (t1 - t0) if t1 > t0 else 0.0
+            rgb = tuple(round(a + (b - a) * f) for a, b in zip(c0, c1))
+            return f"rgb({rgb[0]},{rgb[1]},{rgb[2]})"
+    return "rgb(253,231,37)"
+
+
+def heatmap_svg(
+    values: np.ndarray,
+    *,
+    title: str = "",
+    row_labels: Sequence[str] | None = None,
+    col_labels: Sequence[str] | None = None,
+) -> str:
+    """Color-mapped heatmap as a standalone SVG document."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError("heatmap_svg expects a 2-D array")
+    n_rows, n_cols = values.shape
+    finite = values[np.isfinite(values)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = hi - lo if hi > lo else 1.0
+    plot_w = WIDTH - MARGIN_L - MARGIN_R - 30  # room for the colorbar
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+    cw, ch = plot_w / n_cols, plot_h / n_rows
+    parts = _svg_header(title)
+    for i in range(n_rows):
+        for j in range(n_cols):
+            v = values[i, j]
+            fill = "#eee" if not math.isfinite(v) else _viridis_like((v - lo) / span)
+            parts.append(
+                f'<rect x="{MARGIN_L + j * cw:.1f}" '
+                f'y="{MARGIN_T + i * ch:.1f}" width="{cw + 0.5:.1f}" '
+                f'height="{ch + 0.5:.1f}" fill="{fill}"/>'
+            )
+    if row_labels:
+        step = max(1, n_rows // 8)
+        for i in range(0, n_rows, step):
+            parts.append(
+                f'<text x="{MARGIN_L - 5}" '
+                f'y="{MARGIN_T + (i + 0.5) * ch + 3:.1f}" text-anchor="end" '
+                f'font-size="9">{_esc(row_labels[i])}</text>'
+            )
+    if col_labels:
+        step = max(1, n_cols // 8)
+        for j in range(0, n_cols, step):
+            parts.append(
+                f'<text x="{MARGIN_L + (j + 0.5) * cw:.1f}" '
+                f'y="{MARGIN_T + plot_h + 14}" text-anchor="middle" '
+                f'font-size="9">{_esc(col_labels[j])}</text>'
+            )
+    # Colorbar.
+    bar_x = MARGIN_L + plot_w + 10
+    for k in range(40):
+        t = 1.0 - k / 39
+        parts.append(
+            f'<rect x="{bar_x}" y="{MARGIN_T + k * plot_h / 40:.1f}" '
+            f'width="12" height="{plot_h / 40 + 0.5:.1f}" '
+            f'fill="{_viridis_like(t)}"/>'
+        )
+    parts.append(
+        f'<text x="{bar_x + 16}" y="{MARGIN_T + 8}" font-size="9">'
+        f"{_fmt_tick(hi)}</text>"
+    )
+    parts.append(
+        f'<text x="{bar_x + 16}" y="{MARGIN_T + plot_h}" font-size="9">'
+        f"{_fmt_tick(lo)}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(path: str | Path, svg: str) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg)
+    return path

@@ -1,0 +1,145 @@
+"""Curve-analytics vocabulary: peaks, valleys, regions, crossovers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    crossover,
+    effective_region,
+    energy_effective_region,
+    find_features,
+    summarize_speedup,
+)
+
+
+class TestFindFeatures:
+    def test_single_peak(self):
+        sizes = [1, 2, 4, 8, 16]
+        gflops = [1.0, 5.0, 2.0, 2.0, 2.0]
+        f = find_features(sizes, gflops)
+        assert f.peak_indices == (1,)
+        assert f.plateau == 2.0
+
+    def test_valley_below_plateau(self):
+        sizes = [1, 2, 4, 8, 16]
+        gflops = [5.0, 1.0, 3.0, 3.0, 3.0]
+        f = find_features(sizes, gflops)
+        assert 1 in f.valley_indices
+
+    def test_dip_above_plateau_is_not_a_valley(self):
+        # The local minimum (4.0) sits above the final plateau (2.0):
+        # that's a step, not a valley (paper Figure 6's distinction).
+        sizes = [1, 2, 4, 8, 16]
+        gflops = [6.0, 4.0, 5.0, 2.0, 2.0]
+        f = find_features(sizes, gflops)
+        assert f.valley_indices == ()
+
+    def test_monotone_curve_has_no_features(self):
+        f = find_features([1, 2, 4, 8], [8.0, 6.0, 4.0, 2.0])
+        assert f.n_peaks == 0 and f.n_valleys == 0
+
+    def test_stepping_curve_from_engine(self):
+        """The real Broadwell stream curve shows >= 2 peaks and a valley."""
+        from repro.engine import estimate
+        from repro.kernels import StreamKernel
+        from repro.platforms import broadwell
+
+        machine = broadwell()
+        sizes = [2**k for k in range(10, 27)]
+        gflops = [
+            estimate(StreamKernel(n=n).profile(), machine, edram=False).gflops
+            for n in sizes
+        ]
+        f = find_features([3 * 8 * n for n in sizes], gflops)
+        assert f.n_peaks >= 2
+        assert f.n_valleys >= 1  # the L3 valley
+
+    def test_rejects_unsorted_sizes(self):
+        with pytest.raises(ValueError):
+            find_features([2, 1], [1.0, 2.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            find_features([1, 2], [1.0])
+
+
+class TestRegions:
+    def test_effective_region_hull(self):
+        sizes = [1, 2, 4, 8, 16]
+        speedup = [1.0, 1.5, 2.0, 1.2, 1.0]
+        r = effective_region(sizes, speedup)
+        assert r is not None
+        assert (r.lo, r.hi) == (2.0, 8.0)
+        assert r.contains(4) and not r.contains(16)
+        assert r.width_octaves == pytest.approx(2.0)
+
+    def test_no_region(self):
+        assert effective_region([1, 2], [1.0, 1.0]) is None
+
+    def test_eer_subset_of_per(self):
+        sizes = [1, 2, 4, 8, 16, 32]
+        speedup = [1.0, 1.05, 1.3, 1.3, 1.05, 1.0]
+        per = effective_region(sizes, speedup)
+        eer = energy_effective_region(sizes, speedup, power_increase=0.086)
+        assert per is not None and eer is not None
+        assert per.lo <= eer.lo and eer.hi <= per.hi
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        speedups=st.lists(st.floats(0.5, 4.0), min_size=3, max_size=20),
+        w=st.floats(0.0, 0.5),
+    )
+    def test_property_eer_never_exceeds_per(self, speedups, w):
+        sizes = list(range(1, len(speedups) + 1))
+        per = effective_region(sizes, speedups, threshold=1.01)
+        eer = energy_effective_region(sizes, speedups, max(w, 0.01))
+        if eer is not None:
+            assert per is not None
+            assert per.lo <= eer.lo and eer.hi <= per.hi
+
+
+class TestCrossover:
+    def test_basic_crossover(self):
+        sizes = [1, 2, 4, 8]
+        a = [4.0, 3.0, 2.0, 1.0]
+        b = [1.0, 2.0, 3.0, 4.0]
+        assert crossover(sizes, a, b) == 4.0
+
+    def test_no_crossover(self):
+        sizes = [1, 2, 4]
+        assert crossover(sizes, [3, 3, 3], [1, 1, 1]) is None
+
+    def test_flat_mode_cliff_crossover(self):
+        """Flat vs DDR on KNL stream crosses right at MCDRAM capacity."""
+        from repro.engine import estimate
+        from repro.kernels import StreamKernel
+        from repro.platforms import GIB, McdramMode, knl
+
+        machine = knl()
+        sizes_gib = [2, 4, 8, 15, 20, 32, 64]
+        flat, ddr = [], []
+        for s in sizes_gib:
+            p = StreamKernel(n=int(s * GIB) // 24).profile()
+            flat.append(estimate(p, machine, mcdram=McdramMode.FLAT).gflops)
+            ddr.append(estimate(p, machine, mcdram=McdramMode.OFF).gflops)
+        cross = crossover(sizes_gib, flat, ddr)
+        assert cross is not None
+        assert 15 < cross <= 32  # right past the 16 GiB capacity
+
+
+class TestSummarize:
+    def test_columns(self):
+        stats = summarize_speedup([1.0, 2.0, 0.5, 4.0])
+        assert stats["max"] == 4.0
+        assert stats["min"] == 0.5
+        assert stats["avg"] == pytest.approx(1.875)
+        assert stats["frac_above_1"] == pytest.approx(0.5)
+        assert stats["geomean"] == pytest.approx(
+            (1.0 * 2.0 * 0.5 * 4.0) ** 0.25
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_speedup([])

@@ -1,0 +1,165 @@
+"""Set-associative cache tests (trace-simulator ground truth)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Eviction, SetAssociativeCache, direct_mapped
+
+
+class TestGeometry:
+    def test_basic_geometry(self):
+        c = SetAssociativeCache(capacity=64 * 64, line=64, ways=8)
+        assert c.n_sets * c.ways * c.line == c.capacity
+        assert c.capacity <= 64 * 64
+
+    def test_direct_mapped(self):
+        c = direct_mapped(capacity=64 * 16)
+        assert c.is_direct_mapped
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity=32, line=64)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity=1024, line=48)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity=1024, line=64, ways=0)
+
+
+class TestLruBehavior:
+    def test_miss_then_hit(self):
+        c = SetAssociativeCache(capacity=64 * 8, line=64, ways=8)
+        hit, ev = c.access(5)
+        assert not hit and ev is None
+        hit, ev = c.access(5)
+        assert hit and ev is None
+
+    def test_lru_eviction_order(self):
+        # Fully associative single set of 4 ways.
+        c = SetAssociativeCache(capacity=64 * 4, line=64, ways=4)
+        assert c.n_sets == 1
+        for line in range(4):
+            c.access(line)
+        c.access(0)  # refresh 0 -> LRU victim is now 1
+        hit, ev = c.access(99)
+        assert not hit
+        assert ev is not None and ev.line == 1
+
+    def test_touch_refreshes_lru(self):
+        c = SetAssociativeCache(capacity=64 * 2, line=64, ways=2)
+        c.access(0)
+        c.access(1)
+        assert c.lookup(0)  # move 0 to MRU
+        _, ev = c.access(2)
+        assert ev is not None and ev.line == 1
+
+    def test_lookup_without_touch(self):
+        c = SetAssociativeCache(capacity=64 * 2, line=64, ways=2)
+        c.access(0)
+        c.access(1)
+        assert c.lookup(0, touch=False)  # 0 stays LRU
+        _, ev = c.access(2)
+        assert ev is not None and ev.line == 0
+
+    def test_set_isolation(self):
+        c = SetAssociativeCache(capacity=64 * 8, line=64, ways=2)
+        # Lines mapping to different sets never evict each other.
+        c.access(0)
+        c.access(1)
+        c.access(2)
+        c.access(3)
+        assert all(l in c for l in range(4))
+
+
+class TestDirtyTracking:
+    def test_write_marks_dirty(self):
+        c = SetAssociativeCache(capacity=64, line=64, ways=1)
+        c.access(0, write=True)
+        _, ev = c.access(1)  # direct-mapped same set
+        assert ev is not None and ev.dirty
+
+    def test_read_then_write_dirty(self):
+        c = SetAssociativeCache(capacity=64, line=64, ways=1)
+        c.access(0)
+        c.access(0, write=True)
+        _, ev = c.access(1)
+        assert ev is not None and ev.dirty
+
+    def test_clean_eviction(self):
+        c = SetAssociativeCache(capacity=64, line=64, ways=1)
+        c.access(0)
+        _, ev = c.access(1)
+        assert ev == Eviction(line=0, dirty=False)
+
+    def test_insert_preserves_dirty(self):
+        c = SetAssociativeCache(capacity=64 * 4, line=64, ways=4)
+        c.insert(7, dirty=True)
+        assert c.extract(7) is True
+
+    def test_extract_missing_returns_none(self):
+        c = SetAssociativeCache(capacity=64 * 4, line=64, ways=4)
+        assert c.extract(42) is None
+
+
+class TestBulkOperations:
+    def test_invalidate_all(self):
+        c = SetAssociativeCache(capacity=64 * 16, line=64, ways=4)
+        for line in range(16):
+            c.access(line)
+        c.invalidate_all()
+        assert len(c) == 0
+
+    def test_resident_lines(self):
+        c = SetAssociativeCache(capacity=64 * 16, line=64, ways=4)
+        for line in range(8):
+            c.access(line)
+        assert sorted(c.resident_lines()) == list(range(8))
+
+    def test_len_bounded_by_capacity(self):
+        c = SetAssociativeCache(capacity=64 * 8, line=64, ways=2)
+        for line in range(1000):
+            c.access(line)
+        assert len(c) <= 8
+
+
+class TestOracle:
+    """Cross-check against a brute-force LRU model."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=st.lists(st.integers(0, 31), min_size=1, max_size=300),
+        ways=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_fully_associative_matches_reference(self, trace, ways):
+        # Single-set cache == plain LRU list of `ways` entries.
+        c = SetAssociativeCache(capacity=64 * ways, line=64, ways=ways)
+        assert c.n_sets == 1
+        lru: list[int] = []
+        for line in trace:
+            expect_hit = line in lru
+            hit, _ = c.access(line)
+            assert hit == expect_hit
+            if line in lru:
+                lru.remove(line)
+            lru.append(line)
+            if len(lru) > ways:
+                lru.pop(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace=st.lists(st.integers(0, 255), min_size=1, max_size=400))
+    def test_set_assoc_matches_per_set_reference(self, trace):
+        ways, n_sets = 2, 4
+        c = SetAssociativeCache(capacity=64 * ways * n_sets, line=64, ways=ways)
+        assert c.n_sets == n_sets
+        sets: dict[int, list[int]] = {s: [] for s in range(n_sets)}
+        for line in trace:
+            s = line & (n_sets - 1)
+            expect_hit = line in sets[s]
+            hit, _ = c.access(line)
+            assert hit == expect_hit
+            if line in sets[s]:
+                sets[s].remove(line)
+            sets[s].append(line)
+            if len(sets[s]) > ways:
+                sets[s].pop(0)

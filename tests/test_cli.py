@@ -1,0 +1,37 @@
+"""CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out and "table5" in out and "eq1" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Arithmetic-intensity spectrum" in out
+        assert "stream" in out
+
+    def test_run_with_csv(self, tmp_path, capsys):
+        assert main(["run", "fig4", "--csv-dir", str(tmp_path), "--quiet"]) == 0
+        files = list(tmp_path.rglob("*.csv"))
+        assert files, "no CSV written"
+        assert files[0].parent.name == "fig4"
+
+    def test_quiet_suppresses_render(self, tmp_path, capsys):
+        main(["run", "fig4", "--quiet", "--csv-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "spectrum" not in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

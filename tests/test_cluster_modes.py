@@ -1,0 +1,74 @@
+"""KNL cluster-mode model (quadrant / all-to-all / SNC-4)."""
+
+import pytest
+
+from repro.engine import estimate
+from repro.kernels import SpmvKernel, StreamKernel
+from repro.platforms import ClusterMode, GIB, McdramMode, apply_cluster_mode, knl
+from repro.sparse import from_params
+
+
+class TestApplyClusterMode:
+    def test_quadrant_is_identity(self):
+        m = knl()
+        assert apply_cluster_mode(m, ClusterMode.QUADRANT) is m
+
+    def test_all2all_adds_latency_everywhere(self):
+        m = knl()
+        a = apply_cluster_mode(m, ClusterMode.ALL2ALL)
+        assert a.opm.latency == m.opm.latency + 18.0
+        assert a.dram.latency == m.dram.latency + 18.0
+        assert a.opm.bandwidth == m.opm.bandwidth
+
+    def test_snc4_naive_mixes_latency(self):
+        m = knl()
+        s = apply_cluster_mode(m, ClusterMode.SNC4, local_fraction=0.25)
+        # 0.25 local (-10ns) + 0.75 remote (+25ns).
+        expected = 0.25 * (m.opm.latency - 10.0) + 0.75 * (m.opm.latency + 25.0)
+        assert s.opm.latency == pytest.approx(expected)
+        assert s.opm.bandwidth < m.opm.bandwidth
+
+    def test_snc4_tuned_is_fastest(self):
+        m = knl()
+        tuned = apply_cluster_mode(m, ClusterMode.SNC4, local_fraction=1.0)
+        assert tuned.opm.latency < m.opm.latency
+        assert tuned.opm.bandwidth == pytest.approx(m.opm.bandwidth)
+
+    def test_opm_type_preserved(self):
+        s = apply_cluster_mode(knl(), ClusterMode.SNC4)
+        assert s.opm.kind == "memory-side"  # still an OpmSpec
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            apply_cluster_mode(knl(), "quadrant")  # type: ignore[arg-type]
+        with pytest.raises(ValueError):
+            apply_cluster_mode(knl(), ClusterMode.SNC4, local_fraction=1.5)
+
+
+class TestClusterModePerformance:
+    def _stream(self, machine):
+        p = StreamKernel(n=(4 * GIB) // 24).profile()
+        return estimate(p, machine, mcdram=McdramMode.FLAT).gflops
+
+    def test_ordering_naive_workload(self):
+        """Naive placement: quadrant >= SNC-4 >= ... and >= all-to-all."""
+        base = knl()
+        quad = self._stream(base)
+        a2a = self._stream(apply_cluster_mode(base, ClusterMode.ALL2ALL))
+        snc_naive = self._stream(
+            apply_cluster_mode(base, ClusterMode.SNC4, local_fraction=0.25)
+        )
+        assert quad >= a2a - 1e-9
+        assert quad >= snc_naive - 1e-9
+
+    def test_tuned_snc4_can_edge_out_quadrant_on_latency_bound(self):
+        base = knl()
+        d = from_params("x", "banded", 20_000_000, 300_000_000, seed=1)
+        p = SpmvKernel(descriptor=d).profile()
+        quad = estimate(p, base, mcdram=McdramMode.FLAT).gflops
+        tuned = estimate(
+            p,
+            apply_cluster_mode(base, ClusterMode.SNC4, local_fraction=1.0),
+            mcdram=McdramMode.FLAT,
+        ).gflops
+        assert tuned >= quad

@@ -1,0 +1,145 @@
+"""Property-based invariants of the execution-time model.
+
+Physical sanity that must hold for *any* workload the engine accepts:
+more bandwidth never hurts, more OPM capacity never hurts (Broadwell
+victim shape), more MLP never hurts, throughput is positive and bounded
+by the compute peak, and results are deterministic.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import DEFAULT_KNOBS, estimate
+from repro.kernels.profile import Phase, ReuseCurve, WorkloadProfile
+from repro.platforms import broadwell, knl
+from repro.platforms.tuning import McdramMode
+
+
+@st.composite
+def workload_profiles(draw):
+    """Random but physically sensible single-phase profiles."""
+    footprint = draw(st.integers(1 << 16, 1 << 34))
+    demand = float(footprint) * draw(st.floats(1.0, 50.0))
+    flops = demand * draw(st.floats(0.01, 100.0))
+    # Random monotone reuse curve under the footprint.
+    n_knots = draw(st.integers(0, 4))
+    knots = sorted(
+        (
+            draw(st.floats(64.0, footprint * 0.99)),
+            draw(st.floats(0.0, 0.98)),
+        )
+        for _ in range(n_knots)
+    )
+    curve = ReuseCurve.from_knots(knots, footprint=float(footprint))
+    phase = Phase(
+        name="p",
+        flops=flops,
+        demand_bytes=demand,
+        reuse=curve,
+        write_fraction=draw(st.floats(0.0, 0.5)),
+        mlp=draw(st.floats(1.0, 32.0)),
+    )
+    return WorkloadProfile(
+        kernel="synthetic",
+        params={"footprint": footprint},
+        phases=(phase,),
+        arrays={"data": footprint},
+        compute_efficiency=draw(st.floats(0.05, 1.0)),
+    )
+
+
+class TestEngineInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(profile=workload_profiles())
+    def test_throughput_positive_and_bounded(self, profile):
+        machine = broadwell()
+        r = estimate(profile, machine, edram=True)
+        assert r.gflops > 0
+        assert r.gflops <= machine.dp_peak_gflops * 1.0001
+
+    @settings(max_examples=40, deadline=None)
+    @given(profile=workload_profiles())
+    def test_edram_never_hurts(self, profile):
+        """The paper's headline invariant, for arbitrary workloads."""
+        machine = broadwell()
+        on = estimate(profile, machine, edram=True).gflops
+        off = estimate(profile, machine, edram=False).gflops
+        assert on >= off * 0.999
+
+    @settings(max_examples=30, deadline=None)
+    @given(profile=workload_profiles(), factor=st.floats(1.1, 8.0))
+    def test_more_dram_bandwidth_never_hurts(self, profile, factor):
+        machine = broadwell()
+        faster_dram = dataclasses.replace(
+            machine.dram, bandwidth=machine.dram.bandwidth * factor
+        )
+        faster = dataclasses.replace(machine, dram=faster_dram)
+        base = estimate(profile, machine, edram=True).gflops
+        boosted = estimate(profile, faster, edram=True).gflops
+        assert boosted >= base * 0.999
+
+    @settings(max_examples=30, deadline=None)
+    @given(profile=workload_profiles())
+    def test_deterministic(self, profile):
+        machine = knl()
+        a = estimate(profile, machine, mcdram=McdramMode.CACHE).gflops
+        b = estimate(profile, machine, mcdram=McdramMode.CACHE).gflops
+        assert a == b
+
+    @settings(max_examples=30, deadline=None)
+    @given(profile=workload_profiles(), factor=st.floats(1.1, 4.0))
+    def test_more_mlp_never_hurts(self, profile, factor):
+        machine = broadwell()
+        base = estimate(profile, machine, edram=True).gflops
+        phase = profile.phases[0]
+        boosted_profile = dataclasses.replace(
+            profile,
+            phases=(dataclasses.replace(phase, mlp=phase.mlp * factor),),
+        )
+        boosted = estimate(boosted_profile, machine, edram=True).gflops
+        assert boosted >= base * 0.999
+
+    @settings(max_examples=30, deadline=None)
+    @given(profile=workload_profiles())
+    def test_time_decomposition_consistent(self, profile):
+        """Sum of phase times equals the run time; flops/time = gflops."""
+        machine = broadwell()
+        r = estimate(profile, machine, edram=True)
+        assert r.seconds == pytest.approx(sum(p.seconds for p in r.phases))
+        assert r.gflops == pytest.approx(profile.flops / r.seconds / 1e9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(profile=workload_profiles())
+    def test_traffic_conservation(self, profile):
+        """Per-phase: stage transits never increase downward, and served
+        bytes sum to at most the demand."""
+        machine = broadwell()
+        r = estimate(profile, machine, edram=True)
+        for phase_result in r.phases:
+            transits = [l.transit_bytes for l in phase_result.loads]
+            assert all(
+                a >= b - 1e-6 for a, b in zip(transits, transits[1:])
+            )
+            served = sum(l.served_bytes for l in phase_result.loads)
+            demand = profile.phases[0].demand_bytes
+            assert served <= demand * 1.0001
+
+    @settings(max_examples=25, deadline=None)
+    @given(profile=workload_profiles())
+    def test_knl_cache_mode_bounded_below_by_latency_ratio(self, profile):
+        """Cache mode can fall below DDR only through MCDRAM's latency
+        disadvantage (the paper's SpTRSV inversion): the loss is bounded
+        by the DDR/MCDRAM latency ratio; bandwidth-bound workloads never
+        lose."""
+        machine = knl()
+        r_cache = estimate(profile, machine, mcdram=McdramMode.CACHE)
+        r_ddr = estimate(profile, machine, mcdram=McdramMode.OFF)
+        lat_ratio = machine.dram.latency / machine.opm.latency  # ~0.84
+        assert r_cache.gflops >= r_ddr.gflops * lat_ratio * 0.999
+        if r_ddr.bound.startswith("bandwidth") and r_cache.bound.startswith(
+            "bandwidth"
+        ):
+            assert r_cache.gflops >= r_ddr.gflops * 0.999

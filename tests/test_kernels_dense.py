@@ -1,0 +1,144 @@
+"""GEMM and Cholesky: functional correctness and profile properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import CholeskyKernel, GemmKernel, tiled_cholesky, tiled_gemm
+
+
+class TestTiledGemm:
+    def test_matches_numpy_square(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((50, 50))
+        b = rng.standard_normal((50, 50))
+        np.testing.assert_allclose(tiled_gemm(a, b, tile=16), a @ b, atol=1e-10)
+
+    def test_rectangular(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((30, 20))
+        b = rng.standard_normal((20, 45))
+        np.testing.assert_allclose(tiled_gemm(a, b, tile=8), a @ b, atol=1e-10)
+
+    def test_alpha_beta(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((10, 10))
+        b = rng.standard_normal((10, 10))
+        c = rng.standard_normal((10, 10))
+        got = tiled_gemm(a, b, tile=4, alpha=2.0, beta=0.5, c=c)
+        np.testing.assert_allclose(got, 2.0 * a @ b + 0.5 * c, atol=1e-10)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            tiled_gemm(np.ones((2, 3)), np.ones((4, 2)), tile=2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(1, 40),
+        tile=st.integers(1, 48),
+        seed=st.integers(0, 50),
+    )
+    def test_property_any_tile(self, n, tile, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        np.testing.assert_allclose(tiled_gemm(a, b, tile=tile), a @ b, atol=1e-9)
+
+    def test_kernel_validate(self):
+        assert GemmKernel(order=64, tile=24).validate()
+
+
+class TestGemmProfile:
+    def test_table2_accounting(self):
+        k = GemmKernel(order=1024, tile=128)
+        assert k.flops() == 2.0 * 1024**3
+        prof = k.profile()
+        assert prof.footprint_bytes == 3 * 8 * 1024**2
+        assert prof.arithmetic_intensity == pytest.approx(1024 / 12)
+
+    def test_reuse_curve_monotone(self):
+        prof = GemmKernel(order=2048, tile=256).profile()
+        curve = prof.phases[0].reuse
+        caps = [1e3, 1e5, 1e7, 1e9, 1e12]
+        vals = [curve(c) for c in caps]
+        assert vals == sorted(vals)
+        assert vals[-1] == 1.0  # steady state once everything fits
+
+    def test_smaller_tile_more_traffic(self):
+        big = GemmKernel(order=4096, tile=1024).profile()
+        small = GemmKernel(order=4096, tile=128).profile()
+        # At a capacity holding three tiles of the small config but not
+        # the big one, the small tile hits more (its working set fits).
+        cap = 3 * 8 * 256**2
+        assert small.phases[0].reuse(cap) >= big.phases[0].reuse(cap)
+
+    def test_efficiency_penalizes_tiny_tiles(self):
+        assert (
+            GemmKernel(order=4096, tile=32).compute_efficiency()
+            < GemmKernel(order=4096, tile=512).compute_efficiency()
+        )
+
+    def test_efficiency_penalizes_ragged_edges(self):
+        exact = GemmKernel(order=4096, tile=512).compute_efficiency()
+        ragged = GemmKernel(order=4097, tile=512).compute_efficiency()
+        assert ragged < exact
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GemmKernel(order=0, tile=8)
+        with pytest.raises(ValueError):
+            GemmKernel(order=8, tile=0)
+
+
+class TestTiledCholesky:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        m = rng.standard_normal((40, 40))
+        a = m @ m.T + 40 * np.eye(40)
+        l = tiled_cholesky(a, tile=12)
+        np.testing.assert_allclose(l, np.linalg.cholesky(a), atol=1e-8)
+
+    def test_reconstruction(self):
+        rng = np.random.default_rng(4)
+        m = rng.standard_normal((30, 30))
+        a = m @ m.T + 30 * np.eye(30)
+        l = tiled_cholesky(a, tile=7)
+        np.testing.assert_allclose(l @ l.T, a, atol=1e-8)
+
+    def test_result_lower_triangular(self):
+        rng = np.random.default_rng(5)
+        m = rng.standard_normal((20, 20))
+        a = m @ m.T + 20 * np.eye(20)
+        l = tiled_cholesky(a, tile=6)
+        assert np.allclose(l, np.tril(l))
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            tiled_cholesky(np.ones((2, 3)), tile=2)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(2, 30), tile=st.integers(1, 32), seed=st.integers(0, 20))
+    def test_property(self, n, tile, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.standard_normal((n, n))
+        a = m @ m.T + n * np.eye(n)
+        l = tiled_cholesky(a, tile=tile)
+        np.testing.assert_allclose(l @ l.T, a, atol=1e-7)
+
+    def test_kernel_validate(self):
+        assert CholeskyKernel(order=48, tile=16).validate()
+
+
+class TestCholeskyProfile:
+    def test_table2_accounting(self):
+        k = CholeskyKernel(order=1536, tile=128)
+        assert k.flops() == pytest.approx(1536**3 / 3.0)
+        prof = k.profile()
+        assert prof.footprint_bytes == 8 * 1536**2
+        assert prof.arithmetic_intensity == pytest.approx(1536 / 24)
+
+    def test_curve_valid_when_tile_exceeds_order(self):
+        # Regression: 24 b^2 > 8 n^2 must not produce a decreasing curve.
+        prof = CholeskyKernel(order=256, tile=4096).profile()
+        assert prof.phases[0].reuse(8 * 256**2) == 1.0

@@ -1,0 +1,196 @@
+"""FFT, stencil and STREAM kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    FftKernel,
+    StencilKernel,
+    StreamKernel,
+    fft_1d,
+    fft_3d,
+    iso3dfd_step,
+    triad,
+)
+from repro.kernels.stencil import RADIUS, iso3dfd_coefficients
+
+
+class TestFft1d:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 32, 64])
+    def test_power_of_two(self, n):
+        x = np.random.default_rng(n).standard_normal(n) + 0j
+        np.testing.assert_allclose(fft_1d(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 12, 24, 48, 96, 37])
+    def test_composite_and_prime(self, n):
+        x = np.random.default_rng(n).standard_normal(n) + 1j * np.random.default_rng(n + 1).standard_normal(n)
+        np.testing.assert_allclose(fft_1d(x), np.fft.fft(x), atol=1e-8)
+
+    def test_batched(self):
+        x = np.random.default_rng(0).standard_normal((5, 16)) + 0j
+        np.testing.assert_allclose(fft_1d(x), np.fft.fft(x, axis=-1), atol=1e-9)
+
+    def test_prime_above_direct_limit_rejected(self):
+        x = np.zeros(67, dtype=complex)  # prime > 64
+        with pytest.raises(ValueError, match="prime"):
+            fft_1d(x)
+
+    def test_linearity(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal(24) + 0j
+        b = rng.standard_normal(24) + 0j
+        np.testing.assert_allclose(
+            fft_1d(a + 2 * b), fft_1d(a) + 2 * fft_1d(b), atol=1e-9
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.sampled_from([2, 3, 4, 6, 8, 10, 12, 15, 16, 20, 30]),
+        seed=st.integers(0, 50),
+    )
+    def test_parseval_property(self, n, seed):
+        """Energy conservation: ||X||^2 = n * ||x||^2."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        X = fft_1d(x)
+        assert np.sum(np.abs(X) ** 2) == pytest.approx(
+            n * np.sum(np.abs(x) ** 2), rel=1e-9
+        )
+
+
+class TestFft3d:
+    @pytest.mark.parametrize("n", [4, 8, 12])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        cube = rng.standard_normal((n, n, n)) + 1j * rng.standard_normal((n, n, n))
+        np.testing.assert_allclose(fft_3d(cube), np.fft.fftn(cube), atol=1e-8)
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            fft_3d(np.zeros((4, 4)))
+
+    def test_kernel_validate(self):
+        assert FftKernel(size=12).validate()
+
+    def test_flops_accounting(self):
+        k = FftKernel(size=8)
+        n = 8**3
+        assert k.flops() == pytest.approx(5 * n * np.log2(n))
+
+    def test_profile_phase_structure(self):
+        prof = FftKernel(size=64).profile()
+        names = [p.name for p in prof.phases]
+        assert names == [
+            "fft-Y",
+            "transpose-after-Y",
+            "fft-X",
+            "transpose-after-X",
+            "fft-Z",
+        ]
+        assert prof.footprint_bytes == 48 * 64**3
+
+
+class TestStencil:
+    def _grids(self, shape, seed=0):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.standard_normal(shape),
+            rng.standard_normal(shape),
+            rng.random(shape) * 0.1,
+        )
+
+    def test_against_direct_loop(self):
+        shape = (20, 19, 18)
+        prev, curr, vel = self._grids(shape)
+        out = iso3dfd_step(prev, curr, vel)
+        c = iso3dfd_coefficients()
+        r = RADIUS
+        for point in [(r, r, r), (9, 10, 9), (shape[0] - r - 1, 9, 9)]:
+            i, j, k = point
+            lap = 3 * c[0] * curr[i, j, k]
+            for t in range(1, r + 1):
+                lap += c[t] * (
+                    curr[i + t, j, k] + curr[i - t, j, k]
+                    + curr[i, j + t, k] + curr[i, j - t, k]
+                    + curr[i, j, k + t] + curr[i, j, k - t]
+                )
+            ref = 2 * curr[i, j, k] - prev[i, j, k] + vel[i, j, k] * lap
+            assert out[i, j, k] == pytest.approx(ref)
+
+    def test_boundary_untouched(self):
+        shape = (18, 18, 18)
+        prev, curr, vel = self._grids(shape)
+        out = iso3dfd_step(prev, curr, vel)
+        np.testing.assert_array_equal(out[:RADIUS], curr[:RADIUS])
+        np.testing.assert_array_equal(out[:, :RADIUS], curr[:, :RADIUS])
+        np.testing.assert_array_equal(out[..., -RADIUS:], curr[..., -RADIUS:])
+
+    def test_constant_field_is_steady(self):
+        # With zero velocity the update reduces to 2c - p; with p == c the
+        # field is unchanged.
+        shape = (18, 18, 18)
+        curr = np.full(shape, 3.0)
+        out = iso3dfd_step(curr.copy(), curr, np.zeros(shape))
+        np.testing.assert_allclose(out, curr)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            iso3dfd_step(np.zeros((18,) * 3), np.zeros((18,) * 3), np.zeros((19,) * 3))
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            iso3dfd_step(*(np.zeros((10, 20, 20)),) * 3)
+        with pytest.raises(ValueError):
+            StencilKernel(8, 64, 64)
+
+    def test_kernel_run_steps(self):
+        k = StencilKernel(18, 18, 18, steps=2)
+        out = k.run()
+        assert out.shape == (18, 18, 18)
+
+    def test_flops_per_cell(self):
+        k = StencilKernel(20, 20, 20, steps=3)
+        assert k.flops() == pytest.approx(3 * 61 * 20**3)
+
+    def test_profile_footprint(self):
+        prof = StencilKernel(32, 32, 32).profile()
+        assert prof.footprint_bytes == 3 * 8 * 32**3
+
+
+class TestStream:
+    def test_triad_values(self):
+        b = np.array([1.0, 2.0])
+        c = np.array([3.0, 4.0])
+        np.testing.assert_allclose(triad(b, c, 2.0), [7.0, 10.0])
+
+    def test_triad_out_buffer(self):
+        b = np.ones(4)
+        c = np.ones(4)
+        out = np.empty(4)
+        ret = triad(b, c, 1.0, out=out)
+        assert ret is out
+        np.testing.assert_allclose(out, 2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            triad(np.ones(3), np.ones(4), 1.0)
+
+    def test_kernel_validate(self):
+        assert StreamKernel(n=5000).validate()
+
+    def test_flops_and_footprint(self):
+        k = StreamKernel(n=1000)
+        assert k.flops() == 2000
+        prof = k.profile()
+        assert prof.footprint_bytes == 3 * 8 * 1000
+        assert prof.phases[0].write_fraction == pytest.approx(1 / 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 1000), alpha=st.floats(-10, 10), seed=st.integers(0, 20))
+    def test_property(self, n, alpha, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.random(n)
+        c = rng.random(n)
+        np.testing.assert_allclose(triad(b, c, alpha), b + alpha * c)

@@ -1,0 +1,181 @@
+"""SpMV, SpTRANS, SpTRSV kernels: functional faces vs SciPy oracles."""
+
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    SpmvKernel,
+    SptransKernel,
+    SptrsvKernel,
+    merge_trans,
+    scan_trans,
+    solve_levels,
+    spmv_csr,
+)
+from repro.sparse import build_levels, from_params, generators
+
+
+def random_matrix(n=200, nnz=2000, seed=0, family="random"):
+    return generators.generate(family, n, nnz, seed=seed)
+
+
+class TestSpmv:
+    def test_csr_path_matches_scipy(self):
+        m = random_matrix(seed=1)
+        x = np.random.default_rng(1).random(m.n_cols)
+        np.testing.assert_allclose(spmv_csr(m, x), m.to_scipy() @ x, atol=1e-12)
+
+    def test_csr_empty_rows(self):
+        import numpy as np
+
+        from repro.sparse import CSRMatrix
+
+        dense = np.zeros((4, 4))
+        dense[2, 1] = 3.0
+        m = CSRMatrix.from_dense(dense)
+        y = spmv_csr(m, np.ones(4))
+        np.testing.assert_allclose(y, [0, 0, 3.0, 0])
+
+    def test_csr_rejects_bad_shape(self):
+        m = random_matrix(seed=2)
+        with pytest.raises(ValueError):
+            spmv_csr(m, np.ones(m.n_cols + 1))
+
+    def test_kernel_validate_csr5_path(self):
+        assert SpmvKernel.from_matrix(random_matrix(seed=3)).validate()
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_kernel_property(self, seed):
+        m = random_matrix(n=80, nnz=600, seed=seed)
+        assert SpmvKernel.from_matrix(m).validate()
+
+    def test_profile_traffic_accounting(self):
+        d = from_params("x", "banded", 100_000, 1_000_000, seed=1)
+        prof = SpmvKernel(descriptor=d).profile()
+        assert prof.footprint_bytes == sum(prof.arrays.values())
+        # Demand = 12 nnz (payload) + 4 M (ptrs) + 8 nnz (x) + 8 M (y).
+        assert prof.demand_bytes == pytest.approx(
+            12 * d.nnz + 4 * d.n_rows + 8 * d.nnz + 8 * d.n_rows
+        )
+
+    def test_banded_profile_hits_earlier_than_random(self):
+        banded = from_params("b", "banded", 100_000, 1_000_000, seed=1)
+        rand = from_params("r", "random", 100_000, 1_000_000, seed=1)
+        pb = SpmvKernel(descriptor=banded).profile().phases[0].reuse
+        pr = SpmvKernel(descriptor=rand).profile().phases[0].reuse
+        mid_cap = 1 << 20  # 1 MiB: holds the band window, not the problem
+        assert pb(mid_cap) > pr(mid_cap)
+
+
+class TestSptrans:
+    @pytest.mark.parametrize("fn", [scan_trans, merge_trans])
+    def test_produces_csc_of_input(self, fn):
+        m = random_matrix(seed=4)
+        out = fn(m)
+        np.testing.assert_allclose(
+            out.to_scipy().toarray(), m.to_dense(), atol=0
+        )
+
+    @pytest.mark.parametrize("fn", [scan_trans, merge_trans])
+    def test_rows_sorted_within_columns(self, fn):
+        m = random_matrix(seed=5)
+        out = fn(m)
+        for j in range(out.n_cols):
+            rows, _ = out.col(j)
+            assert (np.diff(rows) > 0).all()
+
+    @pytest.mark.parametrize("algorithm", ["scan", "merge"])
+    def test_kernel_validate(self, algorithm):
+        k = SptransKernel.from_matrix(random_matrix(seed=6), algorithm=algorithm)
+        assert k.validate()
+
+    def test_merge_various_block_counts(self):
+        m = random_matrix(seed=7)
+        ref = scan_trans(m).to_scipy().toarray()
+        for blocks in (1, 2, 3, 7, 16):
+            got = merge_trans(m, n_blocks=blocks).to_scipy().toarray()
+            np.testing.assert_allclose(got, ref)
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            SptransKernel(descriptor=from_params("x", "random", 100, 300), algorithm="quantum")
+
+    def test_flops_is_nnz_log_nnz(self):
+        d = from_params("x", "random", 10_000, 300_000, seed=8)
+        k = SptransKernel(descriptor=d)
+        assert k.flops() == pytest.approx(d.nnz * np.log2(d.nnz))
+
+    def test_profile_has_three_passes(self):
+        d = from_params("x", "random", 10_000, 300_000, seed=9)
+        prof = SptransKernel(descriptor=d).profile()
+        assert [p.name for p in prof.phases][:2] == ["histogram", "scan"]
+        assert len(prof.phases) == 3
+
+    def test_merge_profile_more_demand(self):
+        d = from_params("x", "random", 10_000, 1_000_000, seed=10)
+        scan_prof = SptransKernel(descriptor=d, algorithm="scan").profile()
+        merge_prof = SptransKernel(descriptor=d, algorithm="merge").profile()
+        assert merge_prof.demand_bytes > scan_prof.demand_bytes
+
+
+class TestSptrsv:
+    def test_solve_matches_scipy(self):
+        lower = random_matrix(seed=11).lower_triangle()
+        b = np.random.default_rng(11).random(lower.n_rows)
+        x = solve_levels(lower, b)
+        ref = spla.spsolve_triangular(lower.to_scipy().tocsr(), b, lower=True)
+        np.testing.assert_allclose(x, ref, atol=1e-9)
+
+    def test_solve_with_precomputed_schedule(self):
+        lower = generators.banded(100, 800, seed=12).lower_triangle()
+        sched = build_levels(lower)
+        b = np.ones(100)
+        x1 = solve_levels(lower, b, sched)
+        x2 = solve_levels(lower, b)
+        np.testing.assert_allclose(x1, x2)
+
+    def test_residual_is_small(self):
+        lower = random_matrix(seed=13).lower_triangle()
+        b = np.random.default_rng(13).random(lower.n_rows)
+        x = solve_levels(lower, b)
+        np.testing.assert_allclose(lower.to_scipy() @ x, b, atol=1e-8)
+
+    def test_rejects_bad_rhs(self):
+        lower = generators.tridiagonal(10).lower_triangle()
+        with pytest.raises(ValueError):
+            solve_levels(lower, np.ones(11))
+
+    def test_missing_diagonal_detected(self):
+        import scipy.sparse as sp
+
+        from repro.sparse import CSRMatrix
+
+        bad = CSRMatrix.from_scipy(
+            sp.csr_matrix(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        )
+        with pytest.raises(ValueError, match="diagonal"):
+            solve_levels(bad, np.ones(2))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 60))
+    def test_kernel_property(self, seed):
+        m = random_matrix(n=60, nnz=400, seed=seed)
+        assert SptrsvKernel.from_matrix(m).validate()
+
+    def test_profile_mlp_capped_by_parallelism(self):
+        chain = from_params("c", "tridiag", 1_000_000, 3_000_000, seed=1)
+        prof = SptrsvKernel(descriptor=chain).profile()
+        gather = prof.phases[-1]
+        assert gather.mlp_cap == pytest.approx(chain.parallelism)
+        assert gather.global_mlp(cores=64) <= chain.parallelism + 1e-9
+
+    def test_chain_has_more_serial_overhead_than_parallel(self):
+        chain = from_params("c", "tridiag", 100_000, 300_000, seed=1)
+        par = from_params("p", "random", 100_000, 300_000, seed=1)
+        t_chain = SptrsvKernel(descriptor=chain).profile().phases[0].serial_overhead_s
+        t_par = SptrsvKernel(descriptor=par).profile().phases[0].serial_overhead_s
+        assert t_chain > t_par

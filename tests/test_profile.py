@@ -1,0 +1,149 @@
+"""ReuseCurve / Phase / WorkloadProfile semantics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.profile import Phase, ReuseCurve, WorkloadProfile
+
+
+class TestReuseCurve:
+    def test_piecewise_evaluation(self):
+        c = ReuseCurve([(100, 0.5), (1000, 0.9)])
+        assert c(50) == 0.0
+        assert c(100) == 0.5
+        assert c(999) == 0.5
+        assert c(1000) == 0.9
+        assert c(10**9) == 0.9
+
+    def test_no_reuse(self):
+        c = ReuseCurve.no_reuse()
+        assert c(1e12) == 0.0
+        assert c.max_fraction == 0.0
+
+    def test_full_reuse(self):
+        c = ReuseCurve.full_reuse(500)
+        assert c(499) == 0.0
+        assert c(500) == 1.0
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            ReuseCurve([(10, 0.9), (100, 0.5)])
+
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            ReuseCurve([(10, 1.5)])
+        with pytest.raises(ValueError):
+            ReuseCurve([(-5, 0.5)])
+
+    def test_duplicate_sizes_keep_max(self):
+        c = ReuseCurve([(10, 0.2), (10, 0.4)])
+        assert c(10) == 0.4
+
+    def test_from_knots_sorts_and_monotonizes(self):
+        c = ReuseCurve.from_knots([(1000, 0.3), (10, 0.6)], footprint=5000)
+        # Running max: the 0.6 at size 10 dominates the 0.3 at 1000.
+        assert c(10) == 0.6
+        assert c(1000) == 0.6
+        assert c(5000) == 1.0
+
+    def test_from_knots_drops_beyond_footprint(self):
+        c = ReuseCurve.from_knots([(10, 0.5), (999999, 0.7)], footprint=100)
+        assert c(100) == 1.0
+        assert c(50) == 0.5
+
+    def test_mix_weighted(self):
+        a = ReuseCurve([(10, 1.0)])
+        b = ReuseCurve.no_reuse()
+        mixed = ReuseCurve.mix([(a, 0.25), (b, 0.75)])
+        assert mixed(10) == pytest.approx(0.25)
+
+    def test_mix_rejects_zero_weight_total(self):
+        with pytest.raises(ValueError):
+            ReuseCurve.mix([(ReuseCurve.no_reuse(), 0.0)])
+
+    def test_scaled(self):
+        c = ReuseCurve([(100, 0.5)]).scaled(2.0)
+        assert c(199) == 0.0
+        assert c(200) == 0.5
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        pts=st.lists(
+            st.tuples(st.floats(1, 1e9), st.floats(0, 1)),
+            min_size=1,
+            max_size=8,
+        ),
+        caps=st.lists(st.floats(0, 2e9), min_size=2, max_size=5),
+    )
+    def test_property_monotone_everywhere(self, pts, caps):
+        c = ReuseCurve.from_knots(pts)
+        vals = [c(x) for x in sorted(caps)]
+        assert all(a <= b + 1e-12 for a, b in zip(vals, vals[1:]))
+
+
+class TestPhase:
+    def _phase(self, **kw):
+        defaults = dict(
+            name="p", flops=1.0, demand_bytes=100.0, reuse=ReuseCurve.no_reuse()
+        )
+        defaults.update(kw)
+        return Phase(**defaults)
+
+    def test_global_mlp_scales_with_cores(self):
+        p = self._phase(mlp=8.0)
+        assert p.global_mlp(4) == 32.0
+        assert p.global_mlp(64) == 512.0
+
+    def test_global_mlp_capped(self):
+        p = self._phase(mlp=8.0, mlp_cap=10.0)
+        assert p.global_mlp(64) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._phase(flops=-1)
+        with pytest.raises(ValueError):
+            self._phase(write_fraction=1.5)
+        with pytest.raises(ValueError):
+            self._phase(mlp=0.5)
+        with pytest.raises(ValueError):
+            self._phase(serial_overhead_s=-1e-9)
+
+
+class TestWorkloadProfile:
+    def _profile(self, phases=None, **kw):
+        if phases is None:
+            phases = (
+                Phase("a", 10.0, 100.0, ReuseCurve.no_reuse()),
+                Phase("b", 20.0, 300.0, ReuseCurve.no_reuse()),
+            )
+        defaults = dict(
+            kernel="test",
+            params={},
+            phases=phases,
+            arrays={"x": 64, "y": 128},
+        )
+        defaults.update(kw)
+        return WorkloadProfile(**defaults)
+
+    def test_aggregates(self):
+        p = self._profile()
+        assert p.flops == 30.0
+        assert p.demand_bytes == 400.0
+        assert p.footprint_bytes == 192
+
+    def test_arithmetic_intensity(self):
+        p = self._profile()
+        assert p.arithmetic_intensity == pytest.approx(30.0 / 192)
+
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            self._profile(phases=())
+
+    def test_efficiency_range(self):
+        with pytest.raises(ValueError):
+            self._profile(compute_efficiency=0.0)
+        with pytest.raises(ValueError):
+            self._profile(compute_efficiency=1.5)

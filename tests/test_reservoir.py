@@ -1,0 +1,107 @@
+"""Reservoir sampling and sampled stack-distance estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import stack_distances
+from repro.trace.reservoir import Reservoir, sampled_stack_distances
+
+
+class TestReservoir:
+    def test_fills_to_capacity(self):
+        r = Reservoir(10, seed=1).extend(range(5))
+        assert sorted(r.sample) == [0, 1, 2, 3, 4]
+        assert len(r) == 5
+
+    def test_capacity_bound(self):
+        r = Reservoir(10, seed=1).extend(range(1000))
+        assert len(r) == 10
+        assert r.seen == 1000
+        assert all(0 <= x < 1000 for x in r.sample)
+
+    def test_deterministic_per_seed(self):
+        a = Reservoir(5, seed=3).extend(range(100)).sample
+        b = Reservoir(5, seed=3).extend(range(100)).sample
+        assert a == b
+
+    def test_uniformity(self):
+        """Sample mean over many reservoirs approaches the stream mean."""
+        means = []
+        for seed in range(60):
+            r = Reservoir(20, seed=seed).extend(range(1000))
+            means.append(np.mean(r.sample))
+        assert np.mean(means) == pytest.approx(499.5, rel=0.08)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Reservoir(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(1, 300),
+        cap=st.integers(1, 50),
+        seed=st.integers(0, 100),
+    )
+    def test_property_size_and_membership(self, n, cap, seed):
+        r = Reservoir(cap, seed=seed).extend(range(n))
+        assert len(r) == min(n, cap)
+        assert len(set(r.sample)) == len(r.sample)  # no duplicates
+        assert all(0 <= x < n for x in r.sample)
+
+
+class TestSampledStackDistances:
+    def test_exact_when_period_one_and_big_window(self):
+        trace = ([0, 1, 2, 3] * 50)
+        exact = stack_distances(trace)
+        sampled = sampled_stack_distances(trace, window=len(trace), period=1)
+        assert sampled.hit_rate(4) == pytest.approx(exact.hit_rate(4))
+        assert sampled.n_windows == 1
+
+    def test_small_working_set_estimated_accurately(self):
+        """Reuse far below the window size survives sampling; the only
+        bias is the documented censoring (window-start cold misses)."""
+        rng = np.random.default_rng(0)
+        trace = rng.integers(0, 64, size=40_000).tolist()
+        exact = stack_distances(trace)
+        sampled = sampled_stack_distances(trace, window=1024, period=4)
+        for cap in (8, 32, 64, 128):
+            tolerance = sampled.censored_fraction + 0.02
+            assert sampled.hit_rate(cap) == pytest.approx(
+                exact.hit_rate(cap), abs=tolerance
+            )
+            # Conservative direction: sampling never overestimates hits
+            # by more than the sampling noise.
+            assert sampled.hit_rate(cap) <= exact.hit_rate(cap) + 0.02
+
+    def test_censoring_reported(self):
+        # Reuse distance ~2000 >> window 256: everything censored.
+        trace = list(range(2000)) * 3
+        sampled = sampled_stack_distances(trace, window=256, period=1)
+        assert sampled.censored_fraction > 0.9
+        # Censored reuse counts as miss: conservative lower bound.
+        assert sampled.hit_rate(4096) <= stack_distances(trace).hit_rate(4096)
+
+    def test_sampling_reduces_work(self):
+        trace = list(range(100)) * 40
+        sampled = sampled_stack_distances(trace, window=200, period=5)
+        assert sampled.n_windows < (len(trace) // 200)
+        assert sampled.n_windows >= 1
+
+    def test_tail_window_analyzed_when_nothing_else(self):
+        sampled = sampled_stack_distances([1, 2, 1], window=10, period=3)
+        assert sampled.n_windows == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sampled_stack_distances([1], window=1)
+        with pytest.raises(ValueError):
+            sampled_stack_distances([1], period=0)
+
+    def test_deterministic(self):
+        trace = list(np.random.default_rng(1).integers(0, 50, size=5000))
+        a = sampled_stack_distances(trace, window=500, period=3, seed=7)
+        b = sampled_stack_distances(trace, window=500, period=3, seed=7)
+        assert a.n_windows == b.n_windows
+        assert a.hit_rate(32) == b.hit_rate(32)

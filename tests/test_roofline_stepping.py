@@ -1,0 +1,124 @@
+"""Roofline and Stepping models (Figures 5, 6, 28-30)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import roofline, stepping
+from repro.platforms import McdramMode, broadwell, knl
+
+
+class TestRoofline:
+    def test_attainable_min_of_ceilings(self):
+        rf = roofline.build(broadwell())
+        # At tiny AI the DDR diagonal binds; at huge AI the DP roof.
+        assert rf.attainable(0.001) == pytest.approx(0.001 * 34.1)
+        assert rf.attainable(1e6) == pytest.approx(236.8)
+
+    def test_opm_diagonal_between(self):
+        rf = roofline.build(broadwell())
+        ai = 0.5
+        ddr = rf.attainable(ai, ceiling="DDR3")
+        edram = rf.attainable(ai, ceiling="eDRAM")
+        dp = rf.attainable(ai, ceiling="DP peak")
+        assert ddr < edram < dp
+
+    def test_ridge_points(self):
+        rf = roofline.build(knl())
+        assert rf.ridge_point("MCDRAM") == pytest.approx(3072 / 490)
+        assert rf.ridge_point("DDR4") == pytest.approx(3072 / 102)
+
+    def test_unknown_ceiling_raises(self):
+        rf = roofline.build(broadwell())
+        with pytest.raises(KeyError):
+            rf.attainable(1.0, ceiling="L7")
+        with pytest.raises(KeyError):
+            rf.ridge_point("DP peak")  # flat roof has no ridge
+
+    def test_series_shapes(self):
+        rf = roofline.build(broadwell())
+        grid = np.logspace(-3, 3, 10)
+        series = rf.series(grid)
+        assert set(series) == {"ai", "DP peak", "SP peak", "DDR3", "eDRAM"}
+        assert all(len(v) == 10 for v in series.values())
+
+    def test_kernel_positions_match_figure4(self):
+        pos = roofline.kernel_positions()
+        assert pos["stream"] == pytest.approx(0.0625)
+        assert pos["stencil"] == pytest.approx(7.625)
+        assert pos["gemm"] == pytest.approx(64.0)
+        # Ordered low to high AI.
+        vals = list(pos.values())
+        assert vals == sorted(vals)
+
+    def test_without_opm(self):
+        rf = roofline.build(broadwell(edram=False), include_opm=True)
+        names = [r.name for r in rf.roofs]
+        assert "eDRAM" not in names
+
+
+class TestSteppingModel:
+    def test_multilevel_has_more_peaks(self):
+        m = broadwell()
+        sizes = np.logspace(np.log2(16e3), np.log2(64e9), 200, base=2.0)
+        single = stepping.curve(m, sizes=sizes, edram=False)
+        multi = stepping.curve(m, sizes=sizes, edram=True)
+        assert len(multi.peak_positions()) >= len(single.peak_positions())
+
+    def test_plateau_equals_ddr_limit(self):
+        m = broadwell()
+        w = stepping.SteppingWorkload(ai=0.0625, mlp=512)
+        c = stepping.curve(m, workload=w, edram=True)
+        # TRIAD at DDR: ai * bw.
+        assert c.plateau() == pytest.approx(0.0625 * 34.1, rel=0.1)
+
+    def test_peak_heights_decline(self):
+        m = broadwell()
+        sizes = np.logspace(np.log2(16e3), np.log2(64e9), 300, base=2.0)
+        c = stepping.curve(m, sizes=sizes, edram=True)
+        peaks = [c.gflops[i] for i in c.peak_positions()]
+        if len(peaks) >= 2:
+            assert peaks[0] >= peaks[-1]
+
+    def test_knl_flat_cliff(self):
+        m = knl()
+        sizes = np.array([1e9, 8e9, 15e9, 40e9, 100e9])
+        flat = stepping.curve(m, sizes=sizes, mcdram=McdramMode.FLAT)
+        ddr = stepping.curve(m, sizes=sizes, mcdram=McdramMode.OFF)
+        # In capacity: flat wins; past capacity: flat collapses below DDR.
+        assert flat.gflops[0] > ddr.gflops[0]
+        assert flat.gflops[-1] < ddr.gflops[-1]
+
+    def test_knl_hybrid_between(self):
+        m = knl()
+        sizes = np.array([12e9])  # between 8 GB and 16 GB
+        hybrid = stepping.curve(m, sizes=sizes, mcdram=McdramMode.HYBRID)
+        ddr = stepping.curve(m, sizes=sizes, mcdram=McdramMode.OFF)
+        assert hybrid.gflops[0] > ddr.gflops[0]
+
+    def test_labels(self):
+        m = broadwell()
+        assert stepping.curve(m, edram=True).label == "w/ eDRAM"
+        assert stepping.curve(m, edram=False).label == "w/o eDRAM"
+        assert "flat" in stepping.curve(knl(), mcdram=McdramMode.FLAT).label
+
+
+class TestHardwareWhatIf:
+    def test_capacity_scaling_extends_effective_region(self):
+        m = broadwell()
+        sizes = np.logspace(np.log2(1e6), np.log2(4e9), 120, base=2.0)
+        base = stepping.hardware_whatif(m, capacity_x=1.0, sizes=sizes)
+        bigger = stepping.hardware_whatif(m, capacity_x=4.0, sizes=sizes)
+        plateau = base.plateau()
+        reach = lambda c: sizes[c.gflops > plateau * 1.05].max()
+        assert reach(bigger) > reach(base)
+
+    def test_bandwidth_scaling_raises_peak(self):
+        m = broadwell()
+        sizes = np.logspace(np.log2(8e6), np.log2(100e6), 60, base=2.0)
+        base = stepping.hardware_whatif(m, bandwidth_x=1.0, sizes=sizes)
+        faster = stepping.hardware_whatif(m, bandwidth_x=4.0, sizes=sizes)
+        assert faster.gflops.max() > base.gflops.max()
+
+    def test_requires_opm(self):
+        with pytest.raises(ValueError):
+            stepping.hardware_whatif(broadwell(edram=False), capacity_x=2.0)

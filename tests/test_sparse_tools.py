@@ -1,0 +1,170 @@
+"""Segmented sort, level schedules, Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    CSRMatrix,
+    build_levels,
+    generators,
+    order_rows_by_length,
+    read_mm,
+    round_trip,
+    segmented_argsort,
+    segmented_sort,
+    write_mm,
+)
+
+
+class TestSegmentedSort:
+    def test_basic(self):
+        keys = np.array([3, 1, 2, 9, 7, 5])
+        out = segmented_sort(keys, np.array([0, 3, 5, 6]))
+        assert out.tolist() == [1, 2, 3, 7, 9, 5]
+
+    def test_argsort_indices_stay_in_segment(self):
+        keys = np.array([4, 2, 9, 1])
+        idx = segmented_argsort(keys, np.array([0, 2, 4]))
+        assert sorted(idx[:2]) == [0, 1]
+        assert sorted(idx[2:]) == [2, 3]
+
+    def test_empty_segments_allowed(self):
+        keys = np.array([2, 1])
+        out = segmented_sort(keys, np.array([0, 0, 2, 2]))
+        assert out.tolist() == [1, 2]
+
+    def test_rejects_bad_offsets(self):
+        with pytest.raises(ValueError):
+            segmented_sort(np.array([1, 2]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            segmented_sort(np.array([1, 2]), np.array([1, 2]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        segments=st.lists(
+            st.lists(st.integers(-50, 50), min_size=0, max_size=12),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_property_each_segment_sorted(self, segments):
+        keys = np.array([k for seg in segments for k in seg], dtype=np.int64)
+        offsets = np.cumsum([0] + [len(s) for s in segments])
+        out = segmented_sort(keys, offsets)
+        for s, seg in enumerate(segments):
+            lo, hi = offsets[s], offsets[s + 1]
+            assert out[lo:hi].tolist() == sorted(seg)
+
+    def test_order_rows_by_length(self):
+        m = generators.powerlaw(50, 600, seed=2)
+        permuted, perm = order_rows_by_length(m)
+        lengths = permuted.row_nnz()
+        assert all(lengths[i] >= lengths[i + 1] for i in range(len(lengths) - 1))
+        # Permutation maps rows correctly.
+        orig = m.to_dense()
+        np.testing.assert_allclose(permuted.to_dense(), orig[perm])
+
+
+class TestLevelSchedule:
+    def test_diagonal_matrix_single_level(self):
+        m = CSRMatrix.from_dense(np.eye(5))
+        sched = build_levels(m)
+        assert sched.n_levels == 1
+        assert sched.avg_parallelism == 5.0
+
+    def test_tridiagonal_is_a_chain(self):
+        m = generators.tridiagonal(20).lower_triangle()
+        sched = build_levels(m)
+        assert sched.n_levels == 20
+        assert sched.avg_parallelism == 1.0
+
+    def test_levels_respect_dependencies(self):
+        m = generators.random_uniform(60, 400, seed=3).lower_triangle()
+        sched = build_levels(m)
+        level = sched.level_of
+        for i in range(m.n_rows):
+            cols, _ = m.row(i)
+            for j in cols[cols < i]:
+                assert level[j] < level[i]
+
+    def test_rows_in_level_partition(self):
+        m = generators.random_uniform(40, 200, seed=4).lower_triangle()
+        sched = build_levels(m)
+        seen = np.concatenate(
+            [sched.rows_in_level(l) for l in range(sched.n_levels)]
+        )
+        assert sorted(seen.tolist()) == list(range(40))
+
+    def test_level_sizes_sum(self):
+        m = generators.banded(50, 400, seed=5).lower_triangle()
+        sched = build_levels(m)
+        assert sched.level_sizes().sum() == 50
+
+    def test_requires_square(self):
+        import scipy.sparse as sp
+
+        m = CSRMatrix.from_scipy(sp.random(3, 5, density=0.5, format="csr"))
+        with pytest.raises(ValueError):
+            build_levels(m)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self):
+        m = generators.random_uniform(30, 150, seed=6)
+        again = round_trip(m)
+        np.testing.assert_allclose(again.to_dense(), m.to_dense())
+
+    def test_comment_written(self):
+        m = CSRMatrix.from_dense(np.eye(2))
+        buf = io.StringIO()
+        write_mm(m, buf, comment="synthetic")
+        assert "%synthetic" in buf.getvalue()
+
+    def test_read_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 2\n"
+            "1 1 5.0\n"
+            "3 1 2.0\n"
+        )
+        m = read_mm(io.StringIO(text))
+        d = m.to_dense()
+        assert d[0, 0] == 5.0
+        assert d[2, 0] == 2.0 and d[0, 2] == 2.0  # mirrored
+
+    def test_read_pattern(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n2 1\n"
+        m = read_mm(io.StringIO(text))
+        assert m.to_dense()[1, 0] == 1.0
+
+    def test_read_skew_symmetric(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+            "2 2 1\n"
+            "2 1 3.0\n"
+        )
+        d = read_mm(io.StringIO(text)).to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_rejects_unknown_header(self):
+        with pytest.raises(ValueError):
+            read_mm(io.StringIO("%%MatrixMarket matrix array real general\n"))
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ValueError):
+            read_mm(
+                io.StringIO(
+                    "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+                )
+            )
+
+    def test_file_roundtrip(self, tmp_path):
+        m = generators.banded(20, 100, seed=7)
+        path = tmp_path / "m.mtx"
+        write_mm(m, path)
+        again = read_mm(path)
+        np.testing.assert_allclose(again.to_dense(), m.to_dense())

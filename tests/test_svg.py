@@ -1,0 +1,104 @@
+"""SVG rendering backend and auto-figure detection."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.results import DataTable, ExperimentResult
+from repro.viz.autosvg import svgs_for, write_svgs
+from repro.viz.svg import heatmap_svg, line_chart_svg, write_svg
+
+
+class TestLineChartSvg:
+    def test_well_formed(self):
+        svg = line_chart_svg(
+            [1, 10, 100], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+            title="T&<>",
+        )
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "T&amp;&lt;&gt;" in svg  # escaping
+
+    def test_legend_entries(self):
+        svg = line_chart_svg([1, 2], {"alpha": [1, 2], "beta": [2, 1]})
+        assert "alpha" in svg and "beta" in svg
+
+    def test_nan_points_skipped(self):
+        svg = line_chart_svg([1, 2, 4], {"a": [1.0, float("nan"), 2.0]})
+        assert "nan" not in svg.lower()
+
+    def test_linear_axis(self):
+        svg = line_chart_svg([0.5, 1.0], {"a": [1, 2]}, log_x=False)
+        assert "(log)" not in svg
+
+
+class TestHeatmapSvg:
+    def test_well_formed(self):
+        grid = np.array([[1.0, 2.0], [3.0, np.nan]])
+        svg = heatmap_svg(grid, title="H", row_labels=["r0", "r1"],
+                          col_labels=["c0", "c1"])
+        assert svg.startswith("<svg") and svg.rstrip().endswith("</svg>")
+        # 4 cells + 40 colorbar rects + background.
+        assert svg.count("<rect") >= 45
+        assert "#eee" in svg  # the NaN cell
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            heatmap_svg(np.ones(3))
+
+    def test_write(self, tmp_path):
+        path = write_svg(tmp_path / "d" / "x.svg", heatmap_svg(np.ones((2, 2))))
+        assert path.exists()
+
+
+class TestAutoSvg:
+    def _curve_result(self):
+        r = ExperimentResult("figX", "curves")
+        r.add_table(
+            "curves",
+            ("footprint_mb", "a", "b"),
+            [(1.0, 2.0, 3.0), (2.0, 2.5, 2.0), (4.0, 3.0, 1.0)],
+        )
+        return r
+
+    def test_curve_table_rendered(self):
+        svgs = svgs_for(self._curve_result())
+        assert "curves" in svgs
+        assert svgs["curves"].count("<polyline") == 2
+
+    def test_dense_table_rendered_per_mode(self):
+        r = ExperimentResult("figY", "dense")
+        rows = [
+            (o, t, float(o + t), float(o * t))
+            for o in (256, 512)
+            for t in (128, 256)
+        ]
+        r.add_table("gflops", ("order", "tile", "m1", "m2"), rows)
+        svgs = svgs_for(r)
+        assert set(svgs) == {"gflops_m1", "gflops_m2"}
+
+    def test_non_figure_tables_skipped(self):
+        r = ExperimentResult("figZ", "stats")
+        r.add_table("names", ("kernel", "value"), [("gemm", 1.0)])
+        r.add_table("unsorted", ("x", "y"), [(2.0, 1.0), (1.0, 2.0)])
+        assert svgs_for(r) == {}
+
+    def test_write_svgs(self, tmp_path):
+        paths = write_svgs(self._curve_result(), tmp_path)
+        assert len(paths) == 1
+        assert paths[0].parent.name == "figX"
+        assert paths[0].read_text().startswith("<svg")
+
+    def test_real_experiment_curves(self):
+        from repro.experiments import run
+
+        svgs = svgs_for(run("fig12", quick=True))
+        assert "curves" in svgs
+
+    def test_cli_svg_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["run", "fig6", "--quiet", "--svg-dir", str(tmp_path)]
+        ) == 0
+        assert list(tmp_path.rglob("*.svg"))

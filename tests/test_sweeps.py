@@ -1,0 +1,107 @@
+"""Sweep grids (appendix A.2) and summary statistics (Tables 4/5)."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    MODE_LABELS,
+    collection_for,
+    dense_orders,
+    dense_tiles,
+    fft_sizes,
+    representative_kernels,
+    run_broadwell_sweep,
+    run_knl_sweep,
+    stencil_grids,
+    stream_sizes,
+    summarize,
+)
+from repro.kernels import StreamKernel
+from repro.platforms import McdramMode
+
+
+class TestGrids:
+    def test_dense_orders_match_appendix(self):
+        full = dense_orders("broadwell", quick=False)
+        assert full[0] == 256 and full[-1] <= 16128
+        assert full[1] - full[0] == 512
+        knl_full = dense_orders("knl", quick=False)
+        assert knl_full[-1] <= 32000
+        assert knl_full[1] - knl_full[0] == 1024
+
+    def test_dense_tiles_match_appendix(self):
+        tiles = dense_tiles(quick=False)
+        assert tiles[0] == 128 and tiles[-1] == 4096
+        assert tiles[1] - tiles[0] == 128
+
+    def test_quick_subsamples(self):
+        assert len(dense_orders("broadwell", quick=True)) < len(
+            dense_orders("broadwell", quick=False)
+        )
+
+    def test_stream_sizes_span(self):
+        sizes = stream_sizes("broadwell", quick=False)
+        assert sizes[0] == 2**4 and sizes[-1] == 2**24
+        assert stream_sizes("knl", quick=False)[-1] == 2**26
+
+    def test_stencil_grids_grow(self):
+        grids = stencil_grids("knl", quick=False)
+        cells = [g[0] * g[1] * g[2] for g in grids]
+        assert cells == sorted(cells)
+        assert grids[0] == (128, 64, 64)
+
+    def test_fft_sizes_match_appendix(self):
+        brd = fft_sizes("broadwell", quick=False)
+        assert brd[0] == 96 and brd[-1] == 592 and brd[1] - brd[0] == 16
+        knl_sizes = fft_sizes("knl", quick=False)
+        assert knl_sizes[-1] == 1088 and knl_sizes[1] - knl_sizes[0] == 32
+
+    def test_collection_quick_is_subset_of_full(self):
+        quick = collection_for(quick=True)
+        assert 50 <= len(quick) <= 200
+        full_names = {d.name for d in collection_for(quick=False)}
+        assert all(d.name in full_names for d in quick)
+
+
+class TestSweepRunners:
+    def test_broadwell_sweep_modes(self):
+        points = run_broadwell_sweep([StreamKernel(n=1000)])
+        assert set(points[0].results) == {"w/ eDRAM", "w/o eDRAM"}
+
+    def test_knl_sweep_modes(self):
+        points = run_knl_sweep([StreamKernel(n=1000)])
+        assert set(points[0].results) == set(MODE_LABELS.values())
+
+    def test_knl_sweep_mode_subset(self):
+        points = run_knl_sweep(
+            [StreamKernel(n=1000)], modes=(McdramMode.OFF, McdramMode.FLAT)
+        )
+        assert set(points[0].results) == {"DDR", "Flat"}
+
+    def test_sweep_point_gflops(self):
+        points = run_broadwell_sweep([StreamKernel(n=1000)])
+        assert points[0].gflops("w/ eDRAM") > 0
+
+
+class TestSummarize:
+    def test_statistics(self):
+        points = run_broadwell_sweep(
+            [StreamKernel(n=2**k) for k in (12, 18, 21, 22)]
+        )
+        s = summarize(points, base="w/o eDRAM", opm="w/ eDRAM")
+        assert s.best_opm >= s.best_base
+        assert s.max_gap >= s.avg_gap
+        assert s.max_speedup >= s.avg_speedup >= 1.0
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([], base="a", opm="b")
+
+
+class TestRepresentativeKernels:
+    @pytest.mark.parametrize("platform", ["broadwell", "knl"])
+    def test_eight_kernels(self, platform):
+        reps = representative_kernels(platform)
+        assert len(reps) == 8
+        for factory in reps.values():
+            profile = factory().profile()
+            assert profile.flops > 0

@@ -1,0 +1,110 @@
+"""Sync-free SpTRSV: correctness and scheduling simulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import solve_levels
+from repro.sparse import (
+    generators,
+    scheduling_speedup,
+    simulate_schedule,
+    solve_syncfree,
+)
+
+
+class TestSolveSyncfree:
+    def test_matches_level_solver(self):
+        lower = generators.random_uniform(200, 2000, seed=1).lower_triangle()
+        b = np.random.default_rng(1).random(200)
+        np.testing.assert_allclose(
+            solve_syncfree(lower, b), solve_levels(lower, b), atol=1e-10
+        )
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 60), family=st.sampled_from(["random", "banded", "grid2d"]))
+    def test_property_agreement(self, seed, family):
+        # grid families round the row count to a perfect square/cube.
+        lower = generators.generate(family, 80, 600, seed=seed).lower_triangle()
+        b = np.random.default_rng(seed).random(lower.n_rows)
+        np.testing.assert_allclose(
+            solve_syncfree(lower, b), solve_levels(lower, b), atol=1e-9
+        )
+
+    def test_rejects_bad_rhs(self):
+        lower = generators.tridiagonal(10).lower_triangle()
+        with pytest.raises(ValueError):
+            solve_syncfree(lower, np.ones(9))
+
+    def test_missing_diagonal_detected(self):
+        import scipy.sparse as sp
+
+        from repro.sparse import CSRMatrix
+
+        bad = CSRMatrix.from_scipy(
+            sp.csr_matrix(np.array([[1.0, 0.0], [1.0, 0.0]]))
+        )
+        with pytest.raises(ValueError, match="diagonal"):
+            solve_syncfree(bad, np.ones(2))
+
+
+class TestScheduleSimulation:
+    def _lower(self, family="random", seed=2):
+        return generators.generate(family, 400, 4000, seed=seed).lower_triangle()
+
+    def test_makespan_bounds(self):
+        """Any schedule: critical path <= makespan, and with one core the
+        makespan equals total work (level adds barriers)."""
+        lower = self._lower()
+        sf = simulate_schedule(lower, cores=16, discipline="sync-free")
+        assert sf.makespan >= sf.critical_path - 1e-9
+        one_core = simulate_schedule(lower, cores=1, discipline="sync-free")
+        costs_total = 2.0 * lower.n_rows + 1.0 * lower.nnz
+        assert one_core.makespan == pytest.approx(costs_total)
+
+    def test_syncfree_never_slower_than_level(self):
+        for family in ("random", "tridiag", "grid2d", "powerlaw"):
+            lower = self._lower(family)
+            assert scheduling_speedup(lower, cores=64) >= 1.0 - 1e-9
+
+    def test_more_cores_never_hurt_syncfree(self):
+        lower = self._lower()
+        m4 = simulate_schedule(lower, cores=4, discipline="sync-free").makespan
+        m64 = simulate_schedule(lower, cores=64, discipline="sync-free").makespan
+        assert m64 <= m4 + 1e-9
+
+    def test_chain_is_schedule_insensitive_except_barriers(self):
+        """A pure chain has no parallelism: sync-free makespan equals the
+        critical path; level scheduling adds one barrier per row."""
+        lower = generators.tridiagonal(100).lower_triangle()
+        sf = simulate_schedule(lower, cores=64, discipline="sync-free")
+        assert sf.makespan == pytest.approx(sf.critical_path)
+        lvl = simulate_schedule(
+            lower, cores=64, discipline="level", barrier_cost=20.0
+        )
+        assert lvl.makespan == pytest.approx(sf.makespan + 99 * 20.0, rel=0.05)
+
+    def test_zero_barrier_level_close_to_syncfree_on_wide_matrices(self):
+        """With free barriers and wide levels, level scheduling approaches
+        sync-free: the gap *is* the barrier cost plus raggedness."""
+        lower = self._lower("random")
+        lvl0 = simulate_schedule(
+            lower, cores=8, discipline="level", barrier_cost=0.0
+        )
+        sf = simulate_schedule(lower, cores=8, discipline="sync-free")
+        assert lvl0.makespan <= 2.0 * sf.makespan
+
+    def test_utilization_in_range(self):
+        lower = self._lower()
+        for disc in ("level", "sync-free"):
+            r = simulate_schedule(lower, cores=8, discipline=disc)
+            assert 0.0 <= r.utilization <= 1.0
+            assert 0.0 < r.efficiency <= 1.0 + 1e-9
+
+    def test_validation(self):
+        lower = self._lower()
+        with pytest.raises(ValueError):
+            simulate_schedule(lower, cores=0)
+        with pytest.raises(ValueError):
+            simulate_schedule(lower, cores=4, discipline="magic")

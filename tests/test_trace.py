@@ -1,0 +1,165 @@
+"""Trace infrastructure: events, generators, stack distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    Access,
+    pointer_chase,
+    reads,
+    repeated_sweep,
+    sequential,
+    stack_distances,
+    strided,
+    tiled_2d,
+    to_line_trace,
+    uniform_random,
+    writes,
+)
+
+
+class TestAccess:
+    def test_defaults(self):
+        a = Access(64)
+        assert a.size == 8 and not a.write
+
+    def test_rejects_negative_addr(self):
+        with pytest.raises(ValueError):
+            Access(-1)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            Access(0, size=0)
+
+    def test_reads_writes_wrappers(self):
+        rs = list(reads([0, 8]))
+        ws = list(writes([16]))
+        assert all(not a.write for a in rs)
+        assert all(a.write for a in ws)
+
+
+class TestLineExpansion:
+    def test_word_accesses_within_line(self):
+        trace = list(to_line_trace(sequential(0, 8)))
+        assert trace == [(0, False)] * 8
+
+    def test_spanning_access(self):
+        trace = list(to_line_trace([Access(60, size=8)]))
+        assert trace == [(0, False), (1, False)]
+
+    def test_write_flag_propagates(self):
+        trace = list(to_line_trace([Access(0, size=8, write=True)]))
+        assert trace == [(0, True)]
+
+
+class TestGenerators:
+    def test_sequential_addresses(self):
+        addrs = [a.addr for a in sequential(100, 4)]
+        assert addrs == [100, 108, 116, 124]
+
+    def test_strided(self):
+        addrs = [a.addr for a in strided(0, 3, 256)]
+        assert addrs == [0, 256, 512]
+
+    def test_strided_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            list(strided(0, 3, 0))
+
+    def test_repeated_sweep_length(self):
+        assert len(list(repeated_sweep(0, 10, 3))) == 30
+
+    def test_tiled_2d_covers_matrix_once(self):
+        accesses = list(tiled_2d(0, 6, 6, 2, 3))
+        assert len(accesses) == 36
+        assert len({a.addr for a in accesses}) == 36
+
+    def test_tiled_2d_tile_locality(self):
+        # First tile's addresses all fall within the first two rows.
+        accesses = list(tiled_2d(0, 4, 4, 2, 2))
+        first_tile = [a.addr // 8 for a in accesses[:4]]
+        assert set(first_tile) == {0, 1, 4, 5}
+
+    def test_tiled_rejects_bad_tile(self):
+        with pytest.raises(ValueError):
+            list(tiled_2d(0, 4, 4, 0, 2))
+
+    def test_uniform_random_deterministic(self):
+        a = [x.addr for x in uniform_random(0, 100, 50, seed=3)]
+        b = [x.addr for x in uniform_random(0, 100, 50, seed=3)]
+        assert a == b
+
+    def test_pointer_chase_deterministic_and_bounded(self):
+        addrs = [x.addr for x in pointer_chase(0, 64, 100, seed=1)]
+        assert len(addrs) == 100
+        assert max(addrs) < 64 * 8
+
+
+def _brute_force_stack_distances(lines):
+    """O(N^2) reference: distinct lines since previous access."""
+    out = []
+    for t, line in enumerate(lines):
+        prev = None
+        for s in range(t - 1, -1, -1):
+            if lines[s] == line:
+                prev = s
+                break
+        if prev is None:
+            out.append(-1)
+        else:
+            out.append(len(set(lines[prev + 1 : t])))
+    return out
+
+
+class TestStackDistances:
+    def test_known_trace(self):
+        profile = stack_distances([0, 1, 2, 0, 1, 2, 3, 0])
+        assert profile.distances.tolist() == [-1, -1, -1, 2, 2, 2, -1, 3]
+
+    def test_cold_count(self):
+        profile = stack_distances([5, 5, 5])
+        assert profile.n_cold == 1
+        assert profile.distances.tolist() == [-1, 0, 0]
+
+    def test_hit_rate_semantics(self):
+        # Cyclic sweep of 4 lines: distance 3 for each re-reference.
+        profile = stack_distances([0, 1, 2, 3] * 3)
+        assert profile.hit_rate(4) == pytest.approx(8 / 12)
+        assert profile.hit_rate(3) == 0.0
+
+    def test_cdf_monotone(self):
+        profile = stack_distances(list(range(10)) * 3)
+        rates = profile.cdf([1, 2, 5, 10, 20])
+        assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_empty_trace(self):
+        profile = stack_distances([])
+        assert profile.n_references == 0
+        assert profile.hit_rate(10) == 0.0
+
+    def test_histogram_shape(self):
+        profile = stack_distances(list(range(64)) * 2)
+        counts, edges = profile.histogram(bins=8)
+        assert counts.sum() == 64  # one finite distance per re-reference
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=st.lists(st.integers(0, 20), min_size=1, max_size=120))
+    def test_matches_brute_force(self, trace):
+        fast = stack_distances(trace).distances.tolist()
+        assert fast == _brute_force_stack_distances(trace)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        trace=st.lists(st.integers(0, 15), min_size=1, max_size=100),
+        capacity=st.integers(1, 16),
+    )
+    def test_hit_rate_predicts_fully_associative_lru(self, trace, capacity):
+        """Stack-distance hit rate == exact fully associative LRU hit rate."""
+        from repro.memory.cache import SetAssociativeCache
+
+        cache = SetAssociativeCache(64 * capacity, line=64, ways=capacity)
+        assert cache.n_sets == 1
+        hits = sum(cache.access(line)[0] for line in trace)
+        predicted = stack_distances(trace).hit_rate(capacity)
+        assert hits / len(trace) == pytest.approx(predicted)

@@ -1,0 +1,112 @@
+"""Two-level (host x guest) OPM partitioning."""
+
+import pytest
+
+from repro.kernels import GemmKernel, SpmvKernel
+from repro.os import (
+    EqualShare,
+    GuestVM,
+    ProportionalShare,
+    UtilityMaxShare,
+    simulate_virtualized,
+)
+from repro.platforms import broadwell, knl
+from repro.sparse import from_params
+
+
+def _spmv_profile(seed, footprint_scale=1):
+    return SpmvKernel(
+        descriptor=from_params(
+            f"t{seed}",
+            "grid3d",
+            15_000_000 * footprint_scale,
+            250_000_000 * footprint_scale,
+            seed=seed,
+        )
+    ).profile()
+
+
+def _vms():
+    return [
+        GuestVM(
+            name="dense",
+            tenants=(("gemm", GemmKernel(order=8192, tile=512).profile()),),
+        ),
+        GuestVM(
+            name="sparse",
+            tenants=(
+                ("a", _spmv_profile(1)),
+                ("b", _spmv_profile(2)),
+            ),
+        ),
+    ]
+
+
+class TestGuestVM:
+    def test_requires_tenants(self):
+        with pytest.raises(ValueError):
+            GuestVM(name="empty", tenants=())
+
+    def test_aggregate_footprint(self):
+        vm = _vms()[1]
+        assert vm.aggregate_footprint == sum(
+            p.footprint_bytes for _, p in vm.tenants
+        )
+
+
+class TestSimulateVirtualized:
+    def test_grants_sum_to_capacity(self):
+        machine = knl()
+        out = simulate_virtualized(
+            _vms(), machine, EqualShare(), EqualShare()
+        )
+        assert sum(vm.grant_bytes for vm in out.vms) == machine.opm.capacity
+
+    def test_guest_slices_bounded_by_grant(self):
+        machine = knl()
+        out = simulate_virtualized(
+            _vms(), machine, ProportionalShare(), EqualShare()
+        )
+        for vm in out.vms:
+            assert sum(t.slice_bytes for t in vm.tenants) <= vm.grant_bytes
+
+    def test_dilution_effect(self):
+        """Equal host grants + equal guest splits: the single-tenant VM's
+        app holds more OPM than each multi-tenant VM app."""
+        machine = knl()
+        out = simulate_virtualized(_vms(), machine, EqualShare(), EqualShare())
+        dense = out.vms[0].tenants[0]
+        sparse = out.vms[1].tenants[0]
+        assert dense.slice_bytes > sparse.slice_bytes
+
+    def test_utility_host_can_starve_a_vm(self):
+        """A utility-max host gives nothing to the compute-bound guest."""
+        machine = knl()
+        out = simulate_virtualized(
+            _vms(),
+            machine,
+            UtilityMaxShare(grain=2 << 30),
+            EqualShare(),
+        )
+        assert "dense" in out.starved_vms()
+
+    def test_metrics_ranges(self):
+        machine = knl()
+        out = simulate_virtualized(
+            _vms(), machine, ProportionalShare(), ProportionalShare()
+        )
+        assert out.system_throughput > 0
+        assert 0.0 < out.jain_fairness <= 1.0
+        assert all(
+            0.0 <= t.speedup_vs_solo <= 1.0 + 1e-9 for t in out.all_tenants()
+        )
+
+    def test_requires_opm(self):
+        with pytest.raises(ValueError):
+            simulate_virtualized(
+                _vms(), broadwell(edram=False), EqualShare(), EqualShare()
+            )
+
+    def test_requires_vms(self):
+        with pytest.raises(ValueError):
+            simulate_virtualized([], knl(), EqualShare(), EqualShare())

@@ -1,0 +1,95 @@
+"""ASCII rendering and CSV export."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    bar_chart,
+    density_plot,
+    heatmap,
+    line_chart,
+    scatter,
+    to_csv_string,
+    write_csv,
+)
+
+
+class TestHeatmap:
+    def test_basic_rendering(self):
+        grid = np.array([[0.0, 1.0], [2.0, 3.0]])
+        out = heatmap(grid, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert "scale" in lines[1]
+        assert len(lines) == 4
+
+    def test_extremes_use_ramp_ends(self):
+        from repro.viz.ascii import SHADES
+
+        out = heatmap(np.array([[0.0, 100.0]]))
+        row = out.splitlines()[-1]
+        assert SHADES[0] in row and SHADES[-1] in row
+
+    def test_labels(self):
+        out = heatmap(
+            np.ones((2, 2)),
+            row_labels=["r0", "r1"],
+            col_labels=["c0", "c1"],
+        )
+        assert "r0" in out and "c0 .. c1" in out
+
+    def test_nan_rendered_as_question(self):
+        out = heatmap(np.array([[np.nan, 1.0]]))
+        assert "?" in out
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.ones(3))
+
+
+class TestLineChart:
+    def test_contains_series_markers_and_legend(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        out = line_chart(x, {"a": x * 2, "b": x * 3}, title="T")
+        assert "T" in out
+        assert "o=a" in out and "x=b" in out
+
+    def test_handles_constant_series(self):
+        x = np.array([1.0, 2.0])
+        out = line_chart(x, {"flat": np.array([5.0, 5.0])})
+        assert "flat" in out
+
+    def test_scatter_wrapper(self):
+        out = scatter(np.array([1.0, 10.0]), np.array([2.0, 3.0]))
+        assert "points" in out
+
+    def test_density_plot_linear_axis(self):
+        out = density_plot(np.linspace(0, 1, 5), {"d": np.ones(5)})
+        assert "density" in out
+
+    def test_nan_points_skipped(self):
+        x = np.array([1.0, 2.0, 4.0])
+        out = line_chart(x, {"a": np.array([1.0, np.nan, 2.0])})
+        assert isinstance(out, str)
+
+
+class TestBarChart:
+    def test_values_printed(self):
+        out = bar_chart(["k1", "k2"], {"grp": [1.5, 3.0]}, unit="W")
+        assert "1.50 W" in out and "3.00 W" in out
+
+    def test_bars_scale(self):
+        out = bar_chart(["a", "b"], {"g": [1.0, 2.0]}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+
+
+class TestCsv:
+    def test_to_csv_string(self):
+        text = to_csv_string(["a", "b"], [(1, 2.5), ("x", "y")])
+        assert text.splitlines() == ["a,b", "1,2.5", "x,y"]
+
+    def test_write_csv_creates_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "t.csv", ["c"], [(1,)])
+        assert path.exists()
+        assert path.read_text() == "c\n1\n"
