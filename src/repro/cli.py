@@ -5,6 +5,8 @@ Usage::
     opm-repro list
     opm-repro run fig7 [--full] [--csv-dir results/]
     opm-repro run all --csv-dir results/
+    opm-repro run fig6 --trace run.jsonl
+    opm-repro profile fig6
     python -m repro run table4
 """
 
@@ -60,11 +62,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="also render figure-shaped tables as SVG under this directory",
     )
     runp.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable telemetry and stream spans + run manifests to PATH "
+            "as JSONL (results also gain a 'telemetry' summary table)"
+        ),
+    )
+    runp.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the ASCII rendering (useful with --csv-dir)",
     )
+    profilep = sub.add_parser(
+        "profile",
+        help=(
+            "run one experiment with telemetry enabled and print the "
+            "per-phase wall/self-time breakdown"
+        ),
+    )
+    profilep.add_argument("experiment", help="experiment id (or 'all')")
+    profilep.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-scale sweeps (default: reduced quick sweeps)",
+    )
+    profilep.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="also stream spans + manifests to PATH as JSONL",
+    )
     return parser
+
+
+def _resolve_ids(experiment: str) -> list[str] | None:
+    """Expand 'all' / validate one id; print the valid ids on failure."""
+    specs = all_experiments()
+    if experiment == "all":
+        return list(specs)
+    if experiment not in specs:
+        print(f"error: unknown experiment {experiment!r}", file=sys.stderr)
+        print("valid ids: " + " ".join(specs), file=sys.stderr)
+        return None
+    return [experiment]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = _resolve_ids(args.experiment)
+    if ids is None:
+        return 2
+    from repro import telemetry
+
+    if args.trace:
+        telemetry.configure(enabled=True, trace_path=args.trace)
+    try:
+        for exp_id in ids:
+            result = run_experiment(exp_id, quick=not args.full)
+            if not args.quiet:
+                print(result.render())
+                print()
+            if args.csv_dir:
+                for path in result.write_csvs(args.csv_dir):
+                    print(f"wrote {path}", file=sys.stderr)
+            if args.svg_dir:
+                from repro.viz.autosvg import write_svgs
+
+                for path in write_svgs(result, args.svg_dir):
+                    print(f"wrote {path}", file=sys.stderr)
+    finally:
+        if args.trace:
+            telemetry.disable()
+            print(f"wrote trace {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    ids = _resolve_ids(args.experiment)
+    if ids is None:
+        return 2
+    from repro import telemetry
+    from repro.telemetry.summary import render_profile
+
+    with telemetry.session(trace_path=args.trace, attach_summary=False):
+        for exp_id in ids:
+            run_experiment(exp_id, quick=not args.full)
+        print(f"== profile: {', '.join(ids)} ==")
+        print()
+        print(
+            render_profile(
+                telemetry.get_tracer().finished(),
+                telemetry.get_registry().snapshot(),
+            )
+        )
+        print()
+        for m in telemetry.manifests():
+            rss = (
+                f"{m.peak_rss_bytes / 2**20:.1f} MiB"
+                if m.peak_rss_bytes
+                else "n/a"
+            )
+            print(
+                f"manifest {m.run_id}: {m.experiment_id} "
+                f"({'quick' if m.quick else 'full'}) wall "
+                f"{m.wall_time_s:.3f} s, peak RSS {rss}, status {m.status}"
+            )
+    if args.trace:
+        print(f"wrote trace {args.trace}", file=sys.stderr)
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -79,6 +185,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(report(validate_all()))
         return 0
     if args.command == "report":
+        specs = all_experiments()
+        unknown = [e for e in args.experiments if e not in specs]
+        if unknown:
+            print(
+                "error: unknown experiment(s) " + ", ".join(map(repr, unknown)),
+                file=sys.stderr,
+            )
+            print("valid ids: " + " ".join(specs), file=sys.stderr)
+            return 2
         from repro import report as report_mod
 
         path = report_mod.write(
@@ -88,25 +203,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(f"wrote {path}")
         return 0
-    ids = (
-        list(all_experiments())
-        if args.experiment == "all"
-        else [args.experiment]
-    )
-    for exp_id in ids:
-        result = run_experiment(exp_id, quick=not args.full)
-        if not args.quiet:
-            print(result.render())
-            print()
-        if args.csv_dir:
-            for path in result.write_csvs(args.csv_dir):
-                print(f"wrote {path}", file=sys.stderr)
-        if args.svg_dir:
-            from repro.viz.autosvg import write_svgs
-
-            for path in write_svgs(result, args.svg_dir):
-                print(f"wrote {path}", file=sys.stderr)
-    return 0
+    if args.command == "profile":
+        return _cmd_profile(args)
+    return _cmd_run(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -74,19 +74,27 @@ def curve(
     label: str | None = None,
 ) -> SteppingCurve:
     """Generate one stepping curve for a machine/OPM configuration."""
-    levels = _levels_for(machine, edram=edram, mcdram=mcdram, knobs=knobs)
-    if sizes is None:
-        top = (machine.dram.capacity or 2**37) * 4.0
-        sizes = np.logspace(np.log2(16e3), np.log2(top), 160, base=2.0)
-    sizes = np.asarray(list(sizes), dtype=np.float64)
-    gflops = np.array(
-        [
-            _throughput(machine, levels, s, workload, knobs)
-            for s in sizes
-        ]
-    )
+    from repro import telemetry
+
+    curve_label = label or _default_label(edram, mcdram)
+    with telemetry.span(
+        "stepping.curve", machine=machine.name, label=curve_label
+    ) as sp:
+        levels = _levels_for(machine, edram=edram, mcdram=mcdram, knobs=knobs)
+        if sizes is None:
+            top = (machine.dram.capacity or 2**37) * 4.0
+            sizes = np.logspace(np.log2(16e3), np.log2(top), 160, base=2.0)
+        sizes = np.asarray(list(sizes), dtype=np.float64)
+        gflops = np.array(
+            [
+                _throughput(machine, levels, s, workload, knobs)
+                for s in sizes
+            ]
+        )
+        sp.set_attr("points", int(sizes.size))
+        telemetry.counter("engine.stepping.points").inc(int(sizes.size))
     return SteppingCurve(
-        label=label or _default_label(edram, mcdram),
+        label=curve_label,
         sizes=sizes,
         gflops=gflops,
     )

@@ -18,7 +18,6 @@ from __future__ import annotations
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
 from repro.kernels import GemmKernel, SpmvKernel, StencilKernel, StreamKernel
-from repro.kernels.traces import kernel_trace
 from repro.memory import for_broadwell
 from repro.platforms import broadwell
 from repro.sparse import generators
@@ -51,7 +50,7 @@ def run(quick: bool = True) -> ExperimentResult:
     machine = broadwell()
     rows = []
     for name, kernel in _workloads(quick).items():
-        trace = list(to_line_trace(kernel_trace(kernel, reps=2)))
+        trace = list(to_line_trace(kernel.trace(reps=2)))
         for kind in PREFETCHERS:
             h = for_broadwell(machine, scale=0.001, prefetch=kind)
             stats = h.run(iter(trace))

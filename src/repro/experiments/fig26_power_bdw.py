@@ -39,7 +39,9 @@ def run(quick: bool = True) -> ExperimentResult:
              s_on.total_w / s_off.total_w - 1.0)
         )
     # Geometric mean row, as in the paper's "GM" bars.
-    gm = lambda xs: float(np.exp(np.mean(np.log(np.maximum(xs, 1e-9)))))
+    def gm(xs):
+        return float(np.exp(np.mean(np.log(np.maximum(xs, 1e-9)))))
+
     rows.append(
         ("GM", gm(pkg_off), gm(pkg_on), gm(dram_off), gm(dram_on),
          gm([r[5] + 1.0 for r in rows]) - 1.0)

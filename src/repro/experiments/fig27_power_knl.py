@@ -54,7 +54,9 @@ def run(quick: bool = True) -> ExperimentResult:
                 s_flat.total_w / s_ddr.total_w - 1.0,
             )
         )
-    gm = lambda xs: float(np.exp(np.mean(np.log(np.maximum(xs, 1e-9)))))
+    def gm(xs):
+        return float(np.exp(np.mean(np.log(np.maximum(xs, 1e-9)))))
+
     rows.append(
         ("GM", gm(pkg_off), gm(pkg_on), gm(dram_off), gm(dram_on),
          gm([r[5] + 1.0 for r in rows]) - 1.0)

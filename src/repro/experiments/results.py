@@ -39,9 +39,14 @@ class DataTable:
         return to_csv_string(self.columns, self.rows)
 
     def render(self, *, max_rows: int = 24) -> str:
-        """Fixed-width text rendering, elided in the middle when long."""
+        """Fixed-width text rendering, elided in the middle when long.
+
+        A table with zero rows is legitimate (telemetry tables in
+        ``--quiet`` quick runs): it renders as header + separator. The
+        list-based ``max`` keeps the width computation safe for that case.
+        """
         widths = [
-            max(len(c), *(len(_fmt(r[i])) for r in self.rows)) if self.rows else len(c)
+            max([len(c)] + [len(_fmt(r[i])) for r in self.rows])
             for i, c in enumerate(self.columns)
         ]
         header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))

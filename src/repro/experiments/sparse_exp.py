@@ -15,7 +15,6 @@ import numpy as np
 from repro.engine.calibration import DEFAULT_KNOBS
 from repro.experiments.results import ExperimentResult
 from repro.experiments.sweeps import (
-    MODE_LABELS,
     collection_for,
     run_broadwell_sweep,
     run_knl_sweep,

@@ -12,6 +12,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.engine.calibration import DEFAULT_KNOBS, ModelKnobs
 from repro.engine.exectime import RunResult, estimate
 from repro.kernels.base import Kernel
@@ -103,16 +104,20 @@ def run_broadwell_sweep(
     m = machine if machine is not None else broadwell()
     points = []
     for kernel in configs:
-        profile = kernel.profile()
-        points.append(
-            SweepPoint(
-                params=dict(profile.params),
-                results={
-                    "w/ eDRAM": estimate(profile, m, edram=True, knobs=knobs),
-                    "w/o eDRAM": estimate(profile, m, edram=False, knobs=knobs),
-                },
+        with telemetry.span(
+            "sweep.kernel", kernel=kernel.name, machine=m.name
+        ):
+            profile = kernel.profile()
+            points.append(
+                SweepPoint(
+                    params=dict(profile.params),
+                    results={
+                        "w/ eDRAM": estimate(profile, m, edram=True, knobs=knobs),
+                        "w/o eDRAM": estimate(profile, m, edram=False, knobs=knobs),
+                    },
+                )
             )
-        )
+        telemetry.counter("sweep.points").inc()
     return points
 
 
@@ -135,18 +140,22 @@ def run_knl_sweep(
     m = machine if machine is not None else knl()
     points = []
     for kernel in configs:
-        profile = kernel.profile()
-        points.append(
-            SweepPoint(
-                params=dict(profile.params),
-                results={
-                    MODE_LABELS[mode]: estimate(
-                        profile, m, mcdram=mode, knobs=knobs
-                    )
-                    for mode in modes
-                },
+        with telemetry.span(
+            "sweep.kernel", kernel=kernel.name, machine=m.name
+        ):
+            profile = kernel.profile()
+            points.append(
+                SweepPoint(
+                    params=dict(profile.params),
+                    results={
+                        MODE_LABELS[mode]: estimate(
+                            profile, m, mcdram=mode, knobs=knobs
+                        )
+                        for mode in modes
+                    },
+                )
             )
-        )
+        telemetry.counter("sweep.points").inc()
     return points
 
 

@@ -16,9 +16,15 @@ our white-box characterization of the same access behaviour.
 from __future__ import annotations
 
 import abc
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterator
 
+from repro import telemetry
 from repro.kernels.profile import WorkloadProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.memory.hierarchy import Hierarchy
+    from repro.memory.stats import HierarchyStats
+    from repro.trace.events import Access
 
 
 class Kernel(abc.ABC):
@@ -47,6 +53,40 @@ class Kernel(abc.ABC):
         """
         self.run()
         return True
+
+    # -- instrumented faces -------------------------------------------------
+
+    def trace(self, *, reps: int = 1) -> Iterator["Access"]:
+        """Cache-line access trace, wrapped in a ``kernel.trace`` span.
+
+        Yields the same events as
+        :func:`repro.kernels.traces.kernel_trace`; the span closes when
+        the generator is exhausted and records the event count.
+        """
+        from repro.kernels.traces import kernel_trace
+
+        with telemetry.span("kernel.trace", kernel=self.name, reps=reps) as sp:
+            n = 0
+            for event in kernel_trace(self, reps=reps):
+                n += 1
+                yield event
+            sp.set_attr("events", n)
+            telemetry.counter(f"kernel.{self.name}.trace_events").inc(n)
+
+    def simulate(
+        self, hierarchy: "Hierarchy", *, reps: int = 1
+    ) -> "HierarchyStats":
+        """Drive the exact simulator with this kernel's trace.
+
+        Opens a ``kernel.simulate`` span enclosing both trace generation
+        and the hierarchy walk, and returns the per-level statistics.
+        """
+        from repro.trace.events import to_line_trace
+
+        with telemetry.span("kernel.simulate", kernel=self.name, reps=reps):
+            return hierarchy.run(
+                to_line_trace(self.trace(reps=reps), hierarchy.line)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

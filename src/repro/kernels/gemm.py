@@ -74,7 +74,6 @@ class GemmKernel(Kernel):
         # Traffic that escapes a cache holding the three active tiles:
         # per-pass tile reloads of A and B plus C's compulsory traffic.
         tile_traffic = 2.0 * word * n**3 / b + 2.0 * fp_matrix
-        cold_traffic = 3.0 * fp_matrix
         three_tiles = 3.0 * word * b * b
         # L1 micro-kernel reuse: the B panel (b x r doubles) stays L1
         # resident across the A micro-rows of a tile, filtering most

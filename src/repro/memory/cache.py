@@ -57,6 +57,11 @@ class SetAssociativeCache:
         self.ways = max(1, n_lines // n_sets)
         self.capacity = self.n_sets * self.ways * line
         self._sets: list[dict[int, bool]] = [dict() for _ in range(n_sets)]
+        # Plain-int telemetry counters (int += costs nothing next to the
+        # dict work above; published via Hierarchy -> metrics registry).
+        self.n_evictions = 0
+        self.n_dirty_evictions = 0
+        self.n_invalidations = 0
 
     # -- core operations ---------------------------------------------------
 
@@ -87,6 +92,8 @@ class SetAssociativeCache:
             victim_line, victim_dirty = next(iter(s.items()))
             del s[victim_line]
             evicted = Eviction(victim_line, victim_dirty)
+            self.n_evictions += 1
+            self.n_dirty_evictions += victim_dirty
         s[line_addr] = write
         return False, evicted
 
@@ -101,6 +108,8 @@ class SetAssociativeCache:
             victim_line, victim_dirty = next(iter(s.items()))
             del s[victim_line]
             evicted = Eviction(victim_line, victim_dirty)
+            self.n_evictions += 1
+            self.n_dirty_evictions += victim_dirty
         s[line_addr] = dirty
         return evicted
 
@@ -119,6 +128,15 @@ class SetAssociativeCache:
         """Drop all contents (used between experiment repetitions)."""
         for s in self._sets:
             s.clear()
+        self.n_invalidations += 1
+
+    def telemetry_counters(self) -> dict[str, int]:
+        """Replacement-traffic counters for the metrics registry."""
+        return {
+            "evictions": self.n_evictions,
+            "dirty_evictions": self.n_dirty_evictions,
+            "invalidations": self.n_invalidations,
+        }
 
     # -- introspection -----------------------------------------------------
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro import telemetry
 from repro.memory.allocator import Node, NumaAllocator
 from repro.memory.cache import Eviction, SetAssociativeCache
 from repro.memory.mcdram import McdramConfig
@@ -73,6 +74,10 @@ class Hierarchy:
         self._flat_stats = (
             LevelStats(name=memory_names[1], line=line) if allocator is not None else None
         )
+        # Last counter totals published to the metrics registry, so that
+        # repeated run() calls on one hierarchy publish deltas, not
+        # ever-growing cumulative sums.
+        self._published: dict[str, dict[str, int]] = {}
 
     # -- simulation --------------------------------------------------------
 
@@ -105,14 +110,24 @@ class Hierarchy:
 
     def run(self, trace: Iterable[tuple[int, bool]]) -> HierarchyStats:
         """Drive a whole (line_addr, is_write) trace and return the stats."""
-        for line_addr, write in trace:
-            self.access(line_addr, write=write)
+        with telemetry.span("hierarchy.run", line=self.line) as sp:
+            n = 0
+            for line_addr, write in trace:
+                self.access(line_addr, write=write)
+                n += 1
+            sp.set_attr("refs", n)
+        self._publish_telemetry()
         return self.stats()
 
     def run_lines(self, lines: Iterable[int], *, write: bool = False) -> HierarchyStats:
         """Drive a read-only (or write-only) line-address stream."""
-        for line_addr in lines:
-            self.access(line_addr, write=write)
+        with telemetry.span("hierarchy.run", line=self.line, write=write) as sp:
+            n = 0
+            for line_addr in lines:
+                self.access(line_addr, write=write)
+                n += 1
+            sp.set_attr("refs", n)
+        self._publish_telemetry()
         return self.stats()
 
     # -- internals ---------------------------------------------------------
@@ -209,6 +224,34 @@ class Hierarchy:
         self._dram_stats.hits += 1
         return self._dram_stats.name
 
+    def _publish_telemetry(self) -> None:
+        """Push per-level and per-cache counter deltas into the registry.
+
+        This unifies :mod:`repro.memory.stats` with the telemetry metrics:
+        every ``memory.<level>.<counter>`` name carries the access/hit/
+        miss/fill/writeback traffic, and ``memory.<level>.cache.<counter>``
+        the replacement traffic of the backing cache structure.
+        """
+        if not telemetry.enabled():
+            return
+        for lvl in self.stats().levels:
+            self._publish_delta(f"memory.{lvl.name}", lvl.name, lvl.counters())
+        for stage in self._stages:
+            self._publish_delta(
+                f"memory.{stage.name}.cache",
+                f"cache:{stage.name}",
+                stage.cache.telemetry_counters(),
+            )
+
+    def _publish_delta(
+        self, prefix: str, key: str, totals: dict[str, int]
+    ) -> None:
+        prev = self._published.get(key, {})
+        telemetry.record_counts(
+            prefix, {k: v - prev.get(k, 0) for k, v in totals.items()}
+        )
+        self._published[key] = totals
+
     # -- results -----------------------------------------------------------
 
     def stats(self) -> HierarchyStats:
@@ -240,6 +283,11 @@ class Hierarchy:
             self._flat_stats = LevelStats(
                 name=self._flat_stats.name, line=self.line
             )
+        # Level counters restart at zero; drop their publish baselines
+        # (cache replacement counters survive invalidate_all, keep theirs).
+        self._published = {
+            k: v for k, v in self._published.items() if k.startswith("cache:")
+        }
 
 
 # -- builders ---------------------------------------------------------------

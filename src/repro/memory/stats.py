@@ -63,6 +63,16 @@ class LevelStats:
             "traffic_bytes": self.traffic_bytes,
         }
 
+    def counters(self) -> dict[str, int]:
+        """Integer counters only (the shape the metrics registry ingests)."""
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "writebacks": self.writebacks,
+        }
+
 
 @dataclasses.dataclass
 class HierarchyStats:
@@ -83,6 +93,27 @@ class HierarchyStats:
     def total_accesses(self) -> int:
         """References issued by the core (probes at the first level)."""
         return self.levels[0].accesses if self.levels else 0
+
+    def merge(self, other: "HierarchyStats") -> "HierarchyStats":
+        """Level-wise sum of two runs over the same hierarchy shape.
+
+        Repeated-run aggregation (telemetry summaries, sweep repetitions)
+        without hand-rolled per-level loops; raises if the level names do
+        not line up.
+        """
+        if [l.name for l in self.levels] != [l.name for l in other.levels]:
+            raise ValueError(
+                "cannot merge stats of different hierarchies: "
+                f"{[l.name for l in self.levels]} vs "
+                f"{[l.name for l in other.levels]}"
+            )
+        return HierarchyStats(
+            levels=[a.merge(b) for a, b in zip(self.levels, other.levels)]
+        )
+
+    def as_dict(self) -> dict[str, dict[str, float | int | str]]:
+        """Level name -> that level's ``as_dict()`` (JSON/telemetry-ready)."""
+        return {lvl.name: lvl.as_dict() for lvl in self.levels}
 
     def summary(self) -> str:
         """Table of hit rates, one line per level."""

@@ -22,7 +22,7 @@ from typing import Sequence
 from repro.engine.calibration import DEFAULT_KNOBS, ModelKnobs
 from repro.engine.exectime import estimate
 from repro.kernels.profile import WorkloadProfile
-from repro.platforms.spec import MachineSpec, OpmSpec
+from repro.platforms.spec import MachineSpec
 from repro.platforms.tuning import McdramMode
 from repro.os.partition import Partition, PartitionPolicy
 

@@ -78,7 +78,7 @@ def broadwell(
         if edram
         else None
     )
-    return MachineSpec(
+    spec = MachineSpec(
         name="i7-5775C",
         arch="Broadwell",
         cores=CORES,
@@ -122,3 +122,7 @@ def broadwell(
         base_package_power_w=14.0,
         max_dynamic_power_w=51.0,
     )
+    from repro import telemetry
+
+    telemetry.note_platform(spec)
+    return spec

@@ -55,7 +55,7 @@ def knl(mode: McdramMode = McdramMode.CACHE) -> MachineSpec:
     """
     if not isinstance(mode, McdramMode):
         raise TypeError(f"mode must be a McdramMode, got {type(mode).__name__}")
-    return MachineSpec(
+    spec = MachineSpec(
         name="Xeon Phi 7210",
         arch="Knights Landing",
         cores=CORES,
@@ -92,3 +92,7 @@ def knl(mode: McdramMode = McdramMode.CACHE) -> MachineSpec:
         base_package_power_w=70.0,
         max_dynamic_power_w=145.0,
     )
+    from repro import telemetry
+
+    telemetry.note_platform(spec)
+    return spec

@@ -8,13 +8,16 @@ configuration — the file you attach to a reproduction claim.
 
 from __future__ import annotations
 
+import contextlib
 import io
 from pathlib import Path
 from typing import Sequence
 
+from repro import telemetry
 from repro._version import __version__
 from repro.experiments import all_experiments, run
 from repro.experiments.results import DataTable, ExperimentResult
+from repro.telemetry.summary import aggregate_phases
 
 #: Keep per-table Markdown output readable.
 MAX_ROWS = 16
@@ -58,12 +61,61 @@ def render_experiment(result: ExperimentResult, artifact: str) -> str:
     return out.getvalue()
 
 
+def _telemetry_section(
+    manifests: Sequence[telemetry.RunManifest],
+    spans: Sequence[telemetry.Span],
+    *,
+    top_phases: int = 10,
+) -> str:
+    """Provenance + wall-time appendix built from this report's own run."""
+    out = io.StringIO()
+    out.write("## Telemetry\n\n")
+    out.write(
+        "Every result row above can be tied back to one of these run "
+        "manifests (also available as JSONL via `opm-repro run --trace`).\n\n"
+    )
+    out.write(
+        "| experiment | manifest | sweep | wall_s | peak_rss_mib | "
+        "platforms | status |\n"
+        "|---|---|---|---|---|---|---|\n"
+    )
+    for m in manifests:
+        rss = f"{m.peak_rss_bytes / 2**20:.1f}" if m.peak_rss_bytes else "n/a"
+        platforms = (
+            " ".join(
+                f"{name}={h}" for name, h in sorted(m.platform_spec_hashes.items())
+            )
+            or "-"
+        )
+        out.write(
+            f"| {m.experiment_id} | {m.run_id} | "
+            f"{'quick' if m.quick else 'full'} | "
+            f"{m.wall_time_s:.3f} | {rss} | {platforms} | {m.status} |\n"
+        )
+    rows = aggregate_phases(spans)[:top_phases]
+    if rows:
+        out.write("\nTop phases by total wall time:\n\n")
+        out.write("| phase | count | total_s | self_s |\n|---|---|---|---|\n")
+        for r in rows:
+            out.write(
+                f"| {r.name} | {r.count} | {r.total_s:.4f} | {r.self_s:.4f} |\n"
+            )
+    out.write("\n")
+    return out.getvalue()
+
+
 def generate(
     *,
     quick: bool = True,
     experiment_ids: Sequence[str] | None = None,
+    with_telemetry: bool = True,
 ) -> str:
-    """Build the full Markdown report (all experiments by default)."""
+    """Build the full Markdown report (all experiments by default).
+
+    Unless ``with_telemetry`` is False, the runs execute inside a
+    telemetry session and the report ends with a provenance section: one
+    run manifest per experiment plus the top wall-time phases.
+    """
     specs = all_experiments()
     ids = list(experiment_ids) if experiment_ids else list(specs)
     out = io.StringIO()
@@ -76,10 +128,23 @@ def generate(
         "On-Package Memory on HPC Scientific Kernels*, SC '17.\n\n"
     )
     out.write("Contents: " + ", ".join(ids) + "\n\n")
-    for exp_id in ids:
-        result = run(exp_id, quick=quick)
-        out.write(render_experiment(result, specs[exp_id].paper_artifact))
-        out.write("\n---\n\n")
+    scope = (
+        telemetry.session(attach_summary=False)
+        if with_telemetry
+        else contextlib.nullcontext()
+    )
+    with scope:
+        for exp_id in ids:
+            result = run(exp_id, quick=quick)
+            out.write(render_experiment(result, specs[exp_id].paper_artifact))
+            out.write("\n---\n\n")
+        if with_telemetry:
+            out.write(
+                _telemetry_section(
+                    telemetry.manifests(),
+                    telemetry.get_tracer().finished(),
+                )
+            )
     return out.getvalue()
 
 

@@ -1,0 +1,69 @@
+"""JSONL encoding of telemetry records.
+
+One record per line; every record is a flat-ish JSON object with a
+``type`` discriminator (``span``, ``manifest``, ``metric``). The sink is
+append-only and flushes per record so a crashed run still leaves a valid,
+truncatable trace file behind.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Iterator
+
+
+def _default(obj: Any) -> Any:
+    """Best-effort encoder for numpy scalars and stray objects."""
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    if hasattr(obj, "as_dict"):
+        return obj.as_dict()
+    return repr(obj)
+
+
+def dumps(record: dict) -> str:
+    return json.dumps(record, default=_default, separators=(",", ":"))
+
+
+class JsonlSink:
+    """Thread-safe append-only JSONL writer."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.n_records = 0
+
+    def write(self, record: dict) -> None:
+        line = dumps(record)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.n_records += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: str | Path) -> Iterator[dict]:
+    """Yield every record in a trace file (skipping blank lines)."""
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def records_of_type(path: str | Path, record_type: str) -> list[dict]:
+    return [r for r in read_jsonl(path) if r.get("type") == record_type]

@@ -1,0 +1,200 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Metric names are dot-separated paths ("memory.L1.hits",
+"kernel.trace.events"). The registry hands out metric objects that are
+cheap to update — counters and gauges are a single attribute update under
+the GIL; histograms do one bisect per observation. A shared no-op variant
+of each metric type backs the disabled mode, so call sites can cache a
+handle once and never branch again.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Iterable, Mapping
+
+#: Default histogram buckets: powers of ten from 1 µs to 100 s, in seconds.
+DEFAULT_TIME_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-written value (may go up or down)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Cumulative histogram over explicit, sorted bucket upper bounds.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; one overflow slot
+    counts the rest. Tracks sum/count/min/max for mean and range readouts.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count", "min", "max")
+
+    def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_TIME_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: upper bound of the bucket holding rank q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class _NoopMetric:
+    """Accepts every update and stores nothing; shared across call sites."""
+
+    __slots__ = ()
+    name = "<noop>"
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None: ...
+    def set(self, value: float) -> None: ...
+    def add(self, delta: float) -> None: ...
+    def observe(self, value: float) -> None: ...
+
+
+NOOP_METRIC = _NoopMetric()
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics, safe across threads."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, factory) -> Counter | Gauge | Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = self._metrics[name] = factory()
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        metric = self._get_or_create(name, lambda: Counter(name))
+        if not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a Counter")
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._get_or_create(name, lambda: Gauge(name))
+        if not isinstance(metric, Gauge):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a Gauge")
+        return metric
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        metric = self._get_or_create(name, lambda: Histogram(name, buckets))
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a Histogram")
+        return metric
+
+    def get(self, name: str) -> Counter | Gauge | Histogram:
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Name -> as_dict() for every metric, sorted by name."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: m.as_dict() for name, m in items}
+
+    def record_counts(self, prefix: str, counts: Mapping[str, int | float]) -> None:
+        """Bulk-increment ``<prefix>.<key>`` counters from a mapping.
+
+        The bridge used by :mod:`repro.memory` to publish
+        :class:`~repro.memory.stats.LevelStats`-shaped dicts without the
+        memory layer importing metric classes.
+        """
+        for key, value in counts.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.counter(f"{prefix}.{key}").inc(value)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()

@@ -1,0 +1,204 @@
+"""Span tracer: nested timed regions with attributes.
+
+A *span* is one timed region of the pipeline ("experiment", "kernel.trace",
+"hierarchy.run", ...) with free-form attributes. Spans nest: the tracer
+keeps a per-thread stack, so a span opened while another is active records
+that other span as its parent. Finished spans land in a bounded ring
+buffer (cheap to keep around for summaries) and, when a sink is attached,
+are streamed out as JSONL the moment they close.
+
+The tracer itself is always functional; the *near-zero-cost disabled mode*
+lives one layer up — :func:`repro.telemetry.span` hands out a shared no-op
+context manager when telemetry is off, so the hot path pays one global
+check and nothing else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Iterator
+
+#: Default ring-buffer capacity (finished spans retained for summaries).
+DEFAULT_CAPACITY = 16384
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed region. ``end_s`` is None while the span is open."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    attrs: dict[str, Any]
+    start_s: float
+    end_s: float | None = None
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time of the span (0.0 while still open)."""
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set_attr(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute (e.g. a count known only at exit)."""
+        self.attrs[key] = value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "attrs": self.attrs,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+
+
+class _NoopSpan:
+    """Shared do-nothing stand-in returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        return None
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager binding one :class:`Span` to a tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", getattr(exc_type, "__name__", str(exc_type)))
+        self._tracer._pop(self._span)
+
+
+class Tracer:
+    """Records nested spans into a ring buffer and an optional sink."""
+
+    def __init__(self, *, capacity: int = DEFAULT_CAPACITY, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock or time.perf_counter
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._sink: Any | None = None  # object with .write(dict)
+        self.n_started = 0
+        self.n_dropped = 0
+
+    # -- configuration ------------------------------------------------------
+
+    def attach_sink(self, sink: Any | None) -> None:
+        """Stream every finished span to ``sink.write(record)`` (or stop)."""
+        self._sink = sink
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> _ActiveSpan:
+        """Open a nested span; use as ``with tracer.span("phase") as sp:``."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        sp = Span(
+            span_id=next(self._ids),
+            parent_id=parent,
+            name=name,
+            attrs=dict(attrs),
+            start_s=self._clock(),
+        )
+        return _ActiveSpan(self, sp)
+
+    def _push(self, sp: Span) -> None:
+        self.n_started += 1
+        self._stack().append(sp)
+
+    def _pop(self, sp: Span) -> None:
+        sp.end_s = self._clock()
+        stack = self._stack()
+        # Tolerate out-of-order exits (generators finalized late): unwind
+        # to the matching span rather than asserting.
+        while stack:
+            top = stack.pop()
+            if top is sp:
+                break
+        with self._lock:
+            if len(self._finished) == self._finished.maxlen:
+                self.n_dropped += 1
+            self._finished.append(sp)
+        if self._sink is not None:
+            self._sink.write(sp.as_dict())
+
+    # -- introspection ------------------------------------------------------
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished(self) -> list[Span]:
+        """Snapshot of retained finished spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def iter_finished(self, name: str | None = None) -> Iterator[Span]:
+        for sp in self.finished():
+            if name is None or sp.name == name:
+                yield sp
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+        self.n_started = 0
+        self.n_dropped = 0
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable:
+    """Decorator: run the function inside a span named after it.
+
+    Resolves the active tracer through :mod:`repro.telemetry` at call time,
+    so decorated functions honour enable/disable without re-import.
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def inner(*args: Any, **kwargs: Any) -> Any:
+            from repro import telemetry
+
+            with telemetry.span(span_name, **attrs):
+                return fn(*args, **kwargs)
+
+        return inner
+
+    return wrap

@@ -18,7 +18,7 @@ runs. This module provides the standard tools for working from samples:
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Iterator
+from typing import Iterable
 
 import numpy as np
 

@@ -21,8 +21,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Iterator
 
-import numpy as np
-
 from repro.memory import for_broadwell
 from repro.platforms import MachineSpec, broadwell
 from repro.trace import (

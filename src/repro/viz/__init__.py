@@ -1,12 +1,20 @@
 """Terminal figure rendering and CSV export."""
 
-from repro.viz.ascii import bar_chart, density_plot, heatmap, line_chart, scatter
+from repro.viz.ascii import (
+    bar_chart,
+    density_plot,
+    hbar,
+    heatmap,
+    line_chart,
+    scatter,
+)
 from repro.viz.csvout import to_csv_string, write_csv
 from repro.viz.svg import heatmap_svg, line_chart_svg, write_svg
 
 __all__ = [
     "bar_chart",
     "density_plot",
+    "hbar",
     "heatmap",
     "line_chart",
     "scatter",

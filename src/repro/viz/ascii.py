@@ -124,6 +124,20 @@ def scatter(
     )
 
 
+def hbar(fraction: float, width: int = 24, *, fill: str = "#") -> str:
+    """One fixed-width horizontal bar for a [0, 1] fraction.
+
+    Used by the telemetry profile view (``opm-repro profile``) for
+    self-time shares; values outside [0, 1] are clamped.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not math.isfinite(fraction):
+        fraction = 0.0
+    n = int(round(min(1.0, max(0.0, fraction)) * width))
+    return fill * n + " " * (width - n)
+
+
 def bar_chart(
     labels: Sequence[str],
     groups: dict[str, Sequence[float]],

@@ -1,6 +1,5 @@
 """Curve-analytics vocabulary: peaks, valleys, regions, crossovers."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

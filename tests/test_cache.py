@@ -1,6 +1,5 @@
 """Set-associative cache tests (trace-simulator ground truth)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

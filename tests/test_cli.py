@@ -28,10 +28,42 @@ class TestCli:
         out = capsys.readouterr().out
         assert "spectrum" not in out
 
-    def test_unknown_experiment(self):
-        with pytest.raises(KeyError):
-            main(["run", "fig99"])
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'fig99'" in err
+        assert "valid ids:" in err and "fig6" in err
+
+    def test_unknown_profile_exits_2(self, capsys):
+        assert main(["profile", "nope"]) == 2
+        assert "valid ids:" in capsys.readouterr().err
+
+    def test_unknown_report_id_exits_2(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["report", "-o", str(out), "fig99"]) == 2
+        assert not out.exists()
+        assert "valid ids:" in capsys.readouterr().err
+
+    def test_run_trace_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert main(["run", "fig6", "--quiet", "--trace", str(path)]) == 0
+        types = [r["type"] for r in _read_jsonl(path)]
+        assert "span" in types and "manifest" in types
+
+    def test_profile_prints_breakdown(self, capsys):
+        assert main(["profile", "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "self_s" in out
+        assert "stepping.curve" in out
+        assert "manifest" in out
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+def _read_jsonl(path):
+    import json
+
+    with open(path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]

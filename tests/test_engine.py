@@ -1,9 +1,8 @@
 """Execution-time model: shape invariants matching the paper's findings."""
 
-import numpy as np
 import pytest
 
-from repro.engine import DEFAULT_KNOBS, ModelKnobs, efficiency, estimate
+from repro.engine import DEFAULT_KNOBS, efficiency, estimate
 from repro.engine.exectime import build_stack
 from repro.kernels import (
     GemmKernel,

@@ -12,7 +12,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.engine import DEFAULT_KNOBS, estimate
+from repro.engine import estimate
 from repro.kernels.profile import Phase, ReuseCurve, WorkloadProfile
 from repro.platforms import broadwell, knl
 from repro.platforms.tuning import McdramMode

@@ -7,7 +7,6 @@ the real set-associative hierarchy. For conflict-free patterns they must
 match closely.
 """
 
-import numpy as np
 import pytest
 
 from repro.kernels.profile import ReuseCurve

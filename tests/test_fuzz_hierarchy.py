@@ -6,7 +6,6 @@ tests: random traces, random write mixes, random OPM modes.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ the measured reuse behaviour orders and bounds the way each kernel's
 ReuseCurve claims.
 """
 
-import numpy as np
 import pytest
 
 from repro.kernels import (

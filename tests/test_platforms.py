@@ -10,7 +10,6 @@ from repro.platforms import (
     EdramMode,
     GIB,
     MIB,
-    MachineSpec,
     McdramMode,
     MemLevelSpec,
     OpmSpec,

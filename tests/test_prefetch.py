@@ -64,7 +64,6 @@ class TestStride:
         pf = StridePrefetcher(cache, degree=1, confirm=2)
         for i in range(10):
             pf.observe(i * 3)
-        issued_before = pf.stats.issued
         pf.observe(1000)  # break the pattern
         assert pf.observe(2000) == []  # new stride, not yet confirmed
 

@@ -1,6 +1,5 @@
 """ReuseCurve / Phase / WorkloadProfile semantics."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

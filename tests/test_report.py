@@ -1,7 +1,5 @@
 """Report generator and its CLI command."""
 
-import pytest
-
 from repro import report
 
 
@@ -14,7 +12,7 @@ class TestReport:
         assert "| kernel |" in text  # markdown table header
 
     def test_truncation_marker(self):
-        text = report.generate(quick=True, experiment_ids=["fig12"])
+        report.generate(quick=True, experiment_ids=["fig12"])
         # The curves table in quick mode may or may not exceed MAX_ROWS;
         # force the check against the renderer directly.
         from repro.experiments.results import DataTable

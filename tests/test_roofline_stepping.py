@@ -109,7 +109,9 @@ class TestHardwareWhatIf:
         base = stepping.hardware_whatif(m, capacity_x=1.0, sizes=sizes)
         bigger = stepping.hardware_whatif(m, capacity_x=4.0, sizes=sizes)
         plateau = base.plateau()
-        reach = lambda c: sizes[c.gflops > plateau * 1.05].max()
+        def reach(c):
+            return sizes[c.gflops > plateau * 1.05].max()
+
         assert reach(bigger) > reach(base)
 
     def test_bandwidth_scaling_raises_peak(self):

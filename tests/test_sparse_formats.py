@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sparse import CSCMatrix, CSRMatrix, decode, encode, spmv_csr5
-from repro.sparse.csr5 import CSR5Matrix, _transpose_order
+from repro.sparse.csr5 import _transpose_order
 
 
 def random_csr(n, density, seed):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.experiments.results import DataTable, ExperimentResult
+from repro.experiments.results import ExperimentResult
 from repro.viz.autosvg import svgs_for, write_svgs
 from repro.viz.svg import heatmap_svg, line_chart_svg, write_svg
 

@@ -1,6 +1,5 @@
 """Trace infrastructure: events, generators, stack distances."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
