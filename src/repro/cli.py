@@ -4,16 +4,26 @@ Usage::
 
     opm-repro list
     opm-repro run fig7 [--full] [--csv-dir results/]
-    opm-repro run all --csv-dir results/
+    opm-repro run all --jobs 4 --journal batch.jsonl
+    opm-repro run all --resume batch.jsonl
     opm-repro run fig6 --trace run.jsonl
+    opm-repro cache stats
     opm-repro profile fig6
     python -m repro run table4
+
+Batch runs (``run all``, or any ``run`` with ``--jobs``/``--journal``/
+``--resume``) go through the :mod:`repro.runtime` scheduler: experiments
+fan out across ``--jobs`` worker processes and, unless ``--no-cache`` is
+given, unchanged results replay from the content-addressed cache in
+milliseconds. Parallel, serial, and cached paths print byte-identical
+tables.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.experiments import all_experiments
@@ -43,6 +53,28 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments",
         nargs="*",
         help="restrict to these experiment ids (default: all)",
+    )
+    reportp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "run experiments through the parallel scheduler with N worker "
+            "processes; the report gains a 'Batch execution' section"
+        ),
+    )
+    reportp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the result cache (scheduler runs only)",
+    )
+    reportp.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: ~/.cache/opm-repro "
+        "or $OPM_REPRO_CACHE_DIR)",
     )
     runp = sub.add_parser("run", help="run one experiment (or 'all')")
     runp.add_argument("experiment", help="experiment id (fig1..fig30, table2..table5, eq1, all)")
@@ -75,6 +107,70 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the ASCII rendering (useful with --csv-dir)",
     )
+    runp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for batch runs (default: 1 = in-process)",
+    )
+    runp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the result cache (batch runs only)",
+    )
+    runp.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: ~/.cache/opm-repro "
+        "or $OPM_REPRO_CACHE_DIR)",
+    )
+    runp.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write per-task status JSONL to PATH (enables later --resume)",
+    )
+    runp.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help=(
+            "resume an interrupted batch: skip tasks already 'done' in "
+            "this journal, append new events to it"
+        ),
+    )
+    runp.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECS",
+        help="approximate per-task timeout (parallel runs only)",
+    )
+    runp.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts for a task whose execution raised (default 1)",
+    )
+    cachep = sub.add_parser(
+        "cache", help="inspect or clear the content-addressed result cache"
+    )
+    cache_sub = cachep.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in [
+        ("stats", "show entry count, size, and hit/miss counters"),
+        ("clear", "delete every cached result"),
+    ]:
+        sp = cache_sub.add_parser(name, help=help_text)
+        sp.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="result cache location (default: ~/.cache/opm-repro "
+            "or $OPM_REPRO_CACHE_DIR)",
+        )
     profilep = sub.add_parser(
         "profile",
         help=(
@@ -109,32 +205,101 @@ def _resolve_ids(experiment: str) -> list[str] | None:
     return [experiment]
 
 
+def _emit_result(result, args: argparse.Namespace) -> None:
+    """Render one result and write its CSV/SVG side outputs."""
+    if not args.quiet:
+        print(result.render())
+        print()
+    if args.csv_dir:
+        for path in result.write_csvs(args.csv_dir):
+            print(f"wrote {path}", file=sys.stderr)
+    if args.svg_dir:
+        from repro.viz.autosvg import write_svgs
+
+        for path in write_svgs(result, args.svg_dir):
+            print(f"wrote {path}", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     ids = _resolve_ids(args.experiment)
     if ids is None:
         return 2
+    for out_dir in (args.csv_dir, args.svg_dir):
+        if out_dir:
+            Path(out_dir).mkdir(parents=True, exist_ok=True)
     from repro import telemetry
 
+    # Batch invocations go through the runtime scheduler; a bare
+    # single-experiment `run` keeps the legacy in-process path (which
+    # attaches per-run telemetry tables under --trace).
+    batch = (
+        args.experiment == "all"
+        or args.jobs > 1
+        or args.journal is not None
+        or args.resume is not None
+    )
     if args.trace:
         telemetry.configure(enabled=True, trace_path=args.trace)
     try:
+        if batch:
+            return _run_batch(ids, args)
         for exp_id in ids:
             result = run_experiment(exp_id, quick=not args.full)
-            if not args.quiet:
-                print(result.render())
-                print()
-            if args.csv_dir:
-                for path in result.write_csvs(args.csv_dir):
-                    print(f"wrote {path}", file=sys.stderr)
-            if args.svg_dir:
-                from repro.viz.autosvg import write_svgs
-
-                for path in write_svgs(result, args.svg_dir):
-                    print(f"wrote {path}", file=sys.stderr)
+            _emit_result(result, args)
     finally:
         if args.trace:
             telemetry.disable()
             print(f"wrote trace {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _run_batch(ids: list[str], args: argparse.Namespace) -> int:
+    from repro.report import batch_summary_section
+    from repro.runtime import (
+        ResultCache,
+        RunJournal,
+        completed_tasks,
+        run_batch,
+    )
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    journal = None
+    resume_completed: set[str] = set()
+    if args.resume:
+        resume_completed = completed_tasks(args.resume)
+        journal = RunJournal(args.resume, append=True)
+    elif args.journal:
+        journal = RunJournal(args.journal)
+    try:
+        summary = run_batch(
+            ids,
+            quick=not args.full,
+            jobs=args.jobs,
+            cache=cache,
+            journal=journal,
+            resume_completed=resume_completed,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    for outcome in summary.outcomes:
+        if outcome.result is not None:
+            _emit_result(outcome.result, args)
+    print(batch_summary_section(summary), file=sys.stderr)
+    return 1 if summary.failed else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    print(cache.stats().render())
     return 0
 
 
@@ -196,13 +361,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         from repro import report as report_mod
 
+        cache = None
+        if args.jobs > 1 and not args.no_cache:
+            from repro.runtime import ResultCache
+
+            cache = ResultCache(args.cache_dir)
         path = report_mod.write(
             args.output,
             quick=not args.full,
             experiment_ids=args.experiments or None,
+            jobs=args.jobs,
+            cache=cache,
         )
         print(f"wrote {path}")
         return 0
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "profile":
         return _cmd_profile(args)
     return _cmd_run(args)

@@ -32,6 +32,23 @@ class ExperimentSpec:
     paper_artifact: str  # "Figure 7", "Table 4", ...
     runner: ExperimentRunner
 
+    @property
+    def module(self) -> str:
+        """Dotted name of the module that defines the driver."""
+        return self.runner.__module__
+
+    def source_fingerprint(self) -> str:
+        """Digest of the driver module + its in-package import closure."""
+        from repro.runtime.fingerprint import source_digest
+
+        return source_digest(self.module)
+
+    def task_key(self, *, quick: bool) -> str:
+        """Content-addressed cache key for one invocation of this spec."""
+        from repro.runtime.fingerprint import task_key
+
+        return task_key(self.experiment_id, self.module, quick=quick)
+
 
 _REGISTRY: dict[str, ExperimentSpec] = {}
 

@@ -3,16 +3,37 @@
 Every experiment driver returns an :class:`ExperimentResult`: one or more
 named :class:`DataTable` objects (the numbers behind the paper artifact),
 pre-rendered ASCII figures, and free-form notes. Results can be dumped as
-CSV files (one per table) or rendered for the terminal.
+CSV files (one per table), rendered for the terminal, or round-tripped
+through plain dicts (``as_dict`` / ``from_dict``) — the serialization the
+runtime's result cache and worker processes rely on.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.viz.csvout import to_csv_string, write_csv
+
+
+def _plain_value(value: object) -> object:
+    """Coerce a cell to a JSON-representable builtin.
+
+    Result rows mix strs, ints, floats, and numpy scalars; numpy scalars
+    format identically to their builtin counterparts but (``np.int64``)
+    do not survive ``json.dumps``, so anything with ``.item()`` is
+    unwrapped — including ``np.float64``, which *is* a float subclass but
+    would otherwise make the round-trip type-unstable.
+    """
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    if isinstance(value, (bool, int, float, str)):  # plain subclasses
+        return value
+    return str(value)
 
 
 @dataclasses.dataclass
@@ -37,6 +58,22 @@ class DataTable:
 
     def to_csv(self) -> str:
         return to_csv_string(self.columns, self.rows)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe representation (numpy scalars unwrapped)."""
+        return {
+            "name": self.name,
+            "columns": list(self.columns),
+            "rows": [[_plain_value(v) for v in row] for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DataTable":
+        return cls(
+            name=data["name"],
+            columns=tuple(data["columns"]),
+            rows=[tuple(row) for row in data["rows"]],
+        )
 
     def render(self, *, max_rows: int = 24) -> str:
         """Fixed-width text rendering, elided in the middle when long.
@@ -103,6 +140,31 @@ class ExperimentResult:
             parts.append("notes:")
             parts.extend(f"  - {n}" for n in self.notes)
         return "\n\n".join(parts)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe representation; inverse of :meth:`from_dict`.
+
+        ``from_dict(as_dict(r)).render() == r.render()`` holds for every
+        driver output: renders format numpy scalars and builtins the same
+        way, so cached and freshly computed results print byte-identically.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "tables": [t.as_dict() for t in self.tables],
+            "figures": list(self.figures),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            tables=[DataTable.from_dict(t) for t in data["tables"]],
+            figures=list(data["figures"]),
+            notes=list(data["notes"]),
+        )
 
     def write_csvs(self, out_dir: str | Path) -> list[Path]:
         """One CSV per table under ``out_dir/<experiment_id>/``."""

@@ -11,9 +11,13 @@ from __future__ import annotations
 import contextlib
 import io
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro import telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.cache import ResultCache
+    from repro.runtime.scheduler import BatchSummary
 from repro._version import __version__
 from repro.experiments import all_experiments, run
 from repro.experiments.results import DataTable, ExperimentResult
@@ -104,17 +108,64 @@ def _telemetry_section(
     return out.getvalue()
 
 
+def batch_summary_section(summary: "BatchSummary") -> str:
+    """Markdown "Batch execution" section for a scheduler run.
+
+    One row per task (status, result source, wall time, attempts) under a
+    headline of the batch-level numbers the runtime's telemetry counters
+    also carry: worker count, wall time, and cache hit rate.
+    """
+    out = io.StringIO()
+    out.write("## Batch execution\n\n")
+    out.write(
+        f"Scheduler: {summary.jobs} worker(s), "
+        f"{'quick' if summary.quick else 'full'} sweeps, wall "
+        f"{summary.wall_time_s:.2f} s; cache hit rate "
+        f"{summary.hit_rate:.1%} "
+        f"({summary.cache_hits} hits / {summary.cache_misses} misses), "
+        f"{len(summary.skipped)} resumed, {len(summary.failed)} failed.\n\n"
+    )
+    out.write(
+        "| task | status | source | wall_s | attempts |\n"
+        "|---|---|---|---|---|\n"
+    )
+    for o in summary.outcomes:
+        if o.status == "skipped":
+            source = "journal"
+        elif o.cache_hit:
+            source = "cache"
+        else:
+            source = "computed"
+        out.write(
+            f"| {o.experiment_id} | {o.status} | {source} | "
+            f"{o.duration_s:.3f} | {o.attempts} |\n"
+        )
+    for o in summary.failed:
+        out.write(f"\n- `{o.experiment_id}` failed: {o.error}\n")
+    out.write("\n")
+    return out.getvalue()
+
+
 def generate(
     *,
     quick: bool = True,
     experiment_ids: Sequence[str] | None = None,
     with_telemetry: bool = True,
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
 ) -> str:
     """Build the full Markdown report (all experiments by default).
 
     Unless ``with_telemetry`` is False, the runs execute inside a
     telemetry session and the report ends with a provenance section: one
     run manifest per experiment plus the top wall-time phases.
+
+    With ``jobs > 1`` or a ``cache``, the experiments run through the
+    :mod:`repro.runtime` scheduler instead of inline, and the report
+    gains a "Batch execution" section (per-task status, result source,
+    wall time). Results served from the cache or a worker process carry
+    no per-experiment telemetry, so the manifest table only lists tasks
+    computed inline.
     """
     specs = all_experiments()
     ids = list(experiment_ids) if experiment_ids else list(specs)
@@ -133,11 +184,31 @@ def generate(
         if with_telemetry
         else contextlib.nullcontext()
     )
+    summary = None
     with scope:
-        for exp_id in ids:
-            result = run(exp_id, quick=quick)
-            out.write(render_experiment(result, specs[exp_id].paper_artifact))
-            out.write("\n---\n\n")
+        if jobs > 1 or cache is not None:
+            from repro.runtime import run_batch
+
+            summary = run_batch(ids, quick=quick, jobs=jobs, cache=cache)
+            for outcome in summary.outcomes:
+                if outcome.result is None:
+                    continue
+                out.write(
+                    render_experiment(
+                        outcome.result,
+                        specs[outcome.experiment_id].paper_artifact,
+                    )
+                )
+                out.write("\n---\n\n")
+        else:
+            for exp_id in ids:
+                result = run(exp_id, quick=quick)
+                out.write(
+                    render_experiment(result, specs[exp_id].paper_artifact)
+                )
+                out.write("\n---\n\n")
+        if summary is not None:
+            out.write(batch_summary_section(summary))
         if with_telemetry:
             out.write(
                 _telemetry_section(
@@ -149,9 +220,13 @@ def generate(
 
 
 def write(path: str | Path, *, quick: bool = True,
-          experiment_ids: Sequence[str] | None = None) -> Path:
+          experiment_ids: Sequence[str] | None = None,
+          jobs: int = 1, cache: "ResultCache | None" = None) -> Path:
     """Generate and write the report; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(generate(quick=quick, experiment_ids=experiment_ids))
+    path.write_text(
+        generate(quick=quick, experiment_ids=experiment_ids, jobs=jobs,
+                 cache=cache)
+    )
     return path

@@ -1,0 +1,38 @@
+"""Execution runtime: parallel scheduling, result caching, resumability.
+
+The paper's artifact is a sweep machine — 30 figures, 4 tables, and
+968-matrix sparse sweeps per configuration. This package is the layer
+that makes re-running it cheap:
+
+* **Fingerprints** (:mod:`repro.runtime.fingerprint`) — content hashes
+  over an experiment's id, sweep mode, package version, and the source
+  of every in-package module it can reach.
+* **Cache** (:mod:`repro.runtime.cache`) — content-addressed JSON store
+  of serialized results under ``~/.cache/opm-repro`` (or
+  ``$OPM_REPRO_CACHE_DIR``); unchanged experiments replay in
+  milliseconds.
+* **Journal** (:mod:`repro.runtime.journal`) — append-only JSONL task
+  log; an interrupted batch resumes with ``--resume <journal>``.
+* **Scheduler** (:mod:`repro.runtime.scheduler`) — fans tasks across a
+  process pool (``--jobs N``) with bounded retry and per-task timeout,
+  emitting spans and counters through :mod:`repro.telemetry`.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.fingerprint import source_digest, task_key
+from repro.runtime.journal import RunJournal, completed_tasks, final_statuses
+from repro.runtime.scheduler import BatchSummary, TaskOutcome, run_batch
+
+__all__ = [
+    "BatchSummary",
+    "CacheStats",
+    "ResultCache",
+    "RunJournal",
+    "TaskOutcome",
+    "completed_tasks",
+    "default_cache_dir",
+    "final_statuses",
+    "run_batch",
+    "source_digest",
+    "task_key",
+]

@@ -1,0 +1,190 @@
+"""Content-addressed result cache.
+
+Serialized :class:`~repro.experiments.results.ExperimentResult` payloads
+are stored one JSON file per task key under
+``<cache-dir>/objects/<key[:2]>/<key>.json``; the key (see
+:mod:`repro.runtime.fingerprint`) covers the experiment id, sweep mode,
+package version, and the source digest of everything the experiment can
+execute, so a lookup either misses or returns exactly what a fresh run
+would print. The default location is ``~/.cache/opm-repro``, overridable
+via ``--cache-dir`` or the ``OPM_REPRO_CACHE_DIR`` environment variable.
+
+Alongside the objects the cache keeps ``stats.json`` with lifetime and
+last-run hit/miss counts; ``opm-repro cache stats`` renders it and CI
+asserts on it. Writes are atomic (tempfile + ``os.replace``), so
+concurrent batches at worst redo one put.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.results import ExperimentResult
+
+#: Environment variable overriding the default cache directory.
+ENV_CACHE_DIR = "OPM_REPRO_CACHE_DIR"
+
+#: Bump when the payload layout changes; older entries read as misses.
+SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "opm-repro"
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """A snapshot of the on-disk cache state."""
+
+    cache_dir: Path
+    entries: int
+    total_bytes: int
+    last_run_hits: int
+    last_run_misses: int
+    lifetime_hits: int
+    lifetime_misses: int
+
+    @property
+    def last_run_hit_rate(self) -> float:
+        looked_up = self.last_run_hits + self.last_run_misses
+        return self.last_run_hits / looked_up if looked_up else 0.0
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"cache dir: {self.cache_dir}",
+                f"entries: {self.entries} "
+                f"({self.total_bytes / 2**20:.2f} MiB)",
+                f"last run: {self.last_run_hits} hits, "
+                f"{self.last_run_misses} misses "
+                f"(hit rate {self.last_run_hit_rate:.1%})",
+                f"lifetime: {self.lifetime_hits} hits, "
+                f"{self.lifetime_misses} misses",
+            ]
+        )
+
+
+class ResultCache:
+    """Filesystem-backed, content-addressed store of experiment results."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- object store --------------------------------------------------------
+
+    def _object_path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> ExperimentResult | None:
+        """The cached result for ``key``, or None on miss/corruption."""
+        path = self._object_path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None
+        try:
+            return ExperimentResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(
+        self,
+        key: str,
+        result: ExperimentResult,
+        *,
+        quick: bool,
+        wall_time_s: float | None = None,
+    ) -> Path:
+        """Store ``result`` under ``key`` atomically; returns the path."""
+        payload: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "experiment_id": result.experiment_id,
+            "quick": quick,
+            "created_unix_s": time.time(),
+            "wall_time_s": wall_time_s,
+            "result": result.as_dict(),
+        }
+        path = self._object_path(key)
+        _atomic_write_json(path, payload)
+        return path
+
+    def entries(self) -> list[Path]:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(objects.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every cached object and the stats file; returns count."""
+        entries = self.entries()
+        for path in entries:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        stats = self.root / "stats.json"
+        try:
+            stats.unlink()
+        except OSError:
+            pass
+        return len(entries)
+
+    # -- hit/miss accounting -------------------------------------------------
+
+    def record_run(self, *, hits: int, misses: int) -> None:
+        """Fold one batch's hit/miss counts into ``stats.json``."""
+        counts = self._read_counts()
+        counts["lifetime_hits"] = counts.get("lifetime_hits", 0) + hits
+        counts["lifetime_misses"] = counts.get("lifetime_misses", 0) + misses
+        counts["last_run_hits"] = hits
+        counts["last_run_misses"] = misses
+        _atomic_write_json(self.root / "stats.json", counts)
+
+    def _read_counts(self) -> dict[str, int]:
+        try:
+            data = json.loads(
+                (self.root / "stats.json").read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return {}
+        return {k: v for k, v in data.items() if isinstance(v, int)}
+
+    def stats(self) -> CacheStats:
+        entries = self.entries()
+        counts = self._read_counts()
+        return CacheStats(
+            cache_dir=self.root,
+            entries=len(entries),
+            total_bytes=sum(p.stat().st_size for p in entries),
+            last_run_hits=counts.get("last_run_hits", 0),
+            last_run_misses=counts.get("last_run_misses", 0),
+            lifetime_hits=counts.get("lifetime_hits", 0),
+            lifetime_misses=counts.get("lifetime_misses", 0),
+        )
+
+
+def _atomic_write_json(path: Path, payload: dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -1,0 +1,167 @@
+"""Content fingerprints for experiment tasks.
+
+A *task key* identifies one ``(experiment, sweep mode)`` execution against
+the exact code that would produce it: the experiment id, the quick/full
+flag, the package version, and a SHA-256 digest over the experiment
+module's source plus the transitive closure of its in-package imports.
+Editing any module an experiment can reach — a kernel, the stepping
+engine, a platform table — changes the digest and therefore the key, so
+the result cache can never serve numbers computed by stale code.
+
+The import closure is discovered statically (``ast`` scan for ``import``
+/ ``from ... import`` statements) rather than by executing modules, so
+fingerprinting is side-effect free and works on modules that have not
+been imported yet.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import importlib.util
+import threading
+from typing import Iterable
+
+#: Digest memo: (module_name, root) -> hex digest, and per-module memo:
+#: (module_name, root) -> (source bytes, imported names) | None. Sources
+#: are assumed immutable for the life of the process — 40 experiment
+#: closures share ~100 modules, so caching the read+parse per module
+#: (not just the final digest) is what keeps warm batch startup cheap.
+#: Tests that rewrite modules on disk call :func:`clear_cache`.
+_DIGEST_CACHE: dict[tuple[str, str], str] = {}
+_MODULE_CACHE: dict[tuple[str, str], tuple[bytes, tuple[str, ...]] | None] = {}
+_LOCK = threading.Lock()
+
+
+def clear_cache() -> None:
+    """Drop memoized digests (needed after editing sources in-process)."""
+    with _LOCK:
+        _DIGEST_CACHE.clear()
+        _MODULE_CACHE.clear()
+
+
+def _find_source(module_name: str) -> tuple[str, bytes] | None:
+    """(origin path, source bytes) for a pure-Python module, else None."""
+    try:
+        spec = importlib.util.find_spec(module_name)
+    except Exception:  # not importable / parent not a package
+        return None
+    if spec is None or spec.origin is None or not spec.origin.endswith(".py"):
+        return None
+    try:
+        with open(spec.origin, "rb") as fh:
+            return spec.origin, fh.read()
+    except OSError:
+        return None
+
+
+def _imported_names(
+    source: bytes, module_name: str, root: str
+) -> Iterable[str]:
+    """Module names under ``root`` that ``source`` may import.
+
+    ``from pkg import x`` yields both ``pkg`` and ``pkg.x`` — whichever of
+    the two is not actually a module is discarded by the closure walk.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    prefix = root + "."
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == root or alias.name.startswith(prefix):
+                    found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:  # resolve "from .x import y" against our package
+                parts = module_name.split(".")
+                anchor = parts[: len(parts) - node.level]
+                base = ".".join(anchor + ([base] if base else []))
+            if base == root or base.startswith(prefix):
+                found.add(base)
+                for alias in node.names:
+                    found.add(f"{base}.{alias.name}")
+    return sorted(found)
+
+
+def _module_info(
+    name: str, root: str
+) -> tuple[bytes, tuple[str, ...]] | None:
+    """Memoized (source bytes, in-package imports) for one module."""
+    key = (name, root)
+    with _LOCK:
+        if key in _MODULE_CACHE:
+            return _MODULE_CACHE[key]
+    found = _find_source(name)
+    info = None
+    if found is not None:
+        _origin, source = found
+        info = (source, tuple(_imported_names(source, name, root)))
+    with _LOCK:
+        _MODULE_CACHE[key] = info
+    return info
+
+
+def closure_sources(
+    module_name: str, root: str | None = None
+) -> dict[str, bytes]:
+    """Module name -> source bytes for the in-package import closure."""
+    root = root or module_name.split(".", 1)[0]
+    sources: dict[str, bytes] = {}
+    visited: set[str] = set()
+    stack = [module_name]
+    while stack:
+        name = stack.pop()
+        if name in visited:
+            continue
+        visited.add(name)
+        info = _module_info(name, root)
+        if info is None:
+            continue
+        source, imports = info
+        sources[name] = source
+        for imported in imports:
+            if imported not in visited:
+                stack.append(imported)
+    return sources
+
+
+def source_digest(module_name: str, root: str | None = None) -> str:
+    """SHA-256 over the module and its in-package import closure."""
+    root = root or module_name.split(".", 1)[0]
+    key = (module_name, root)
+    with _LOCK:
+        cached = _DIGEST_CACHE.get(key)
+    if cached is not None:
+        return cached
+    sha = hashlib.sha256()
+    for name, source in sorted(closure_sources(module_name, root).items()):
+        sha.update(name.encode())
+        sha.update(b"\x00")
+        sha.update(source)
+        sha.update(b"\x00")
+    digest = sha.hexdigest()
+    with _LOCK:
+        _DIGEST_CACHE[key] = digest
+    return digest
+
+
+def task_key(
+    experiment_id: str,
+    module_name: str,
+    *,
+    quick: bool,
+    version: str | None = None,
+) -> str:
+    """Content-addressed cache key for one experiment invocation."""
+    if version is None:
+        from repro._version import __version__ as version
+    sha = hashlib.sha256()
+    sha.update(
+        f"{experiment_id}\x00{int(quick)}\x00{version}\x00".encode()
+    )
+    sha.update(source_digest(module_name).encode())
+    return sha.hexdigest()

@@ -1,0 +1,139 @@
+"""Batch run journal: append-only JSONL, the unit of resumability.
+
+Every scheduler batch can stream its task lifecycle to a journal file —
+one JSON object per line, flushed per event, so a SIGKILL mid-sweep
+loses at most the line being written. A later invocation passes the same
+file to ``--resume``: tasks whose *last* recorded status is terminal
+(``done`` or ``skipped``) are not re-executed, everything else (still
+``pending``/``running`` when the process died, or ``failed``) runs again.
+Resume appends to the same file, so the journal stays a complete record
+of the batch across however many invocations it took to finish.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+#: Last-recorded statuses that mean "do not run this task again".
+COMPLETED_STATUSES = frozenset({"done", "skipped"})
+
+
+@dataclasses.dataclass(frozen=True)
+class JournalEntry:
+    """One task-lifecycle event, as read back from a journal file."""
+
+    task: str
+    status: str  # pending | running | done | failed | skipped
+    cache: str | None = None  # "hit" | "miss" for done entries
+    duration_s: float | None = None
+    attempt: int = 1
+    error: str | None = None
+
+
+class RunJournal:
+    """Append-only JSONL writer for one batch run."""
+
+    def __init__(self, path: str | Path, *, append: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(  # noqa: SIM115 - lifetime spans the batch
+            self.path, "a" if append else "w", encoding="utf-8"
+        )
+
+    def write_header(
+        self, *, ids: list[str], quick: bool, jobs: int
+    ) -> None:
+        self._write(
+            {
+                "event": "batch",
+                "ids": ids,
+                "quick": quick,
+                "jobs": jobs,
+                "ts": time.time(),
+            }
+        )
+
+    def record(
+        self,
+        task: str,
+        status: str,
+        *,
+        cache: str | None = None,
+        duration_s: float | None = None,
+        attempt: int = 1,
+        error: str | None = None,
+    ) -> None:
+        record: dict[str, Any] = {
+            "event": "task",
+            "task": task,
+            "status": status,
+            "attempt": attempt,
+            "ts": time.time(),
+        }
+        if cache is not None:
+            record["cache"] = cache
+        if duration_s is not None:
+            record["duration_s"] = round(duration_s, 6)
+        if error is not None:
+            record["error"] = error
+        self._write(record)
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_entries(path: str | Path) -> Iterator[JournalEntry]:
+    """Parse task events from a journal file (tolerates torn last lines)."""
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except OSError:
+        return
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:  # torn write from an interrupted run
+            continue
+        if record.get("event") != "task" or "task" not in record:
+            continue
+        yield JournalEntry(
+            task=record["task"],
+            status=record.get("status", "pending"),
+            cache=record.get("cache"),
+            duration_s=record.get("duration_s"),
+            attempt=record.get("attempt", 1),
+            error=record.get("error"),
+        )
+
+
+def final_statuses(path: str | Path) -> dict[str, JournalEntry]:
+    """Task -> last recorded entry (the state that counts for resume)."""
+    last: dict[str, JournalEntry] = {}
+    for entry in read_entries(path):
+        last[entry.task] = entry
+    return last
+
+
+def completed_tasks(path: str | Path) -> set[str]:
+    """Tasks a ``--resume`` run must not execute again."""
+    return {
+        task
+        for task, entry in final_statuses(path).items()
+        if entry.status in COMPLETED_STATUSES
+    }

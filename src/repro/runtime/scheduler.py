@@ -1,0 +1,398 @@
+"""Parallel experiment scheduler.
+
+Runs a set of experiment ids through (in order of precedence per task):
+
+1. the **resume set** — tasks already completed in a previous journal are
+   skipped outright;
+2. the **result cache** — a task whose content-addressed key (see
+   :mod:`repro.runtime.fingerprint`) is cached returns in milliseconds;
+3. **execution** — inline for ``jobs=1``, or fanned out across a
+   ``ProcessPoolExecutor`` with bounded retry on worker failure and an
+   approximate per-task timeout.
+
+Every computed result is normalized through the ``as_dict``/``from_dict``
+round-trip before it is rendered or cached, so serial runs, parallel
+runs, and cache hits all print byte-identical tables.
+
+With telemetry enabled the scheduler opens a ``batch`` span with one
+``task`` (inline) or ``task.wait`` (pool) child per executed experiment,
+keeps a run manifest per inline-executed task, and publishes
+``runtime.cache.hits`` / ``runtime.cache.misses`` /
+``runtime.tasks.*`` counters plus a ``runtime.task_wall_s`` histogram and
+a ``runtime.workers`` gauge — the numbers behind the batch summary
+section in reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+import traceback
+from concurrent.futures import (
+    CancelledError,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.experiments.results import ExperimentResult
+from repro.runtime.cache import ResultCache
+from repro.runtime.journal import RunJournal
+
+
+@dataclasses.dataclass
+class TaskOutcome:
+    """What happened to one experiment in a batch."""
+
+    experiment_id: str
+    status: str  # done | failed | skipped
+    result: ExperimentResult | None = None
+    cache_hit: bool = False
+    duration_s: float = 0.0
+    attempts: int = 0
+    error: str | None = None
+
+
+@dataclasses.dataclass
+class BatchSummary:
+    """Aggregate of one :func:`run_batch` invocation."""
+
+    outcomes: list[TaskOutcome]
+    jobs: int
+    quick: bool
+    wall_time_s: float
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(
+            1
+            for o in self.outcomes
+            if o.status != "skipped" and not o.cache_hit
+        )
+
+    @property
+    def failed(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def skipped(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if o.status == "skipped"]
+
+    @property
+    def hit_rate(self) -> float:
+        looked_up = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked_up if looked_up else 0.0
+
+    def render(self) -> str:
+        """One-paragraph plain-text summary for the terminal."""
+        done = sum(1 for o in self.outcomes if o.status == "done")
+        parts = [
+            f"batch: {done}/{len(self.outcomes)} done"
+            f" ({self.cache_hits} cached, {len(self.skipped)} resumed,"
+            f" {len(self.failed)} failed)",
+            f"jobs={self.jobs} wall={self.wall_time_s:.2f}s"
+            f" hit-rate={self.hit_rate:.1%}",
+        ]
+        for o in self.failed:
+            parts.append(f"FAILED {o.experiment_id}: {o.error}")
+        return "\n".join(parts)
+
+
+def _normalize(result: ExperimentResult) -> ExperimentResult:
+    """Round-trip through the dict form so every path prints the same."""
+    return ExperimentResult.from_dict(result.as_dict())
+
+
+def _package_parent() -> str:
+    """Directory to prepend to ``sys.path`` in spawned workers."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parent.parent)
+
+
+def _worker_init(package_parent: str) -> None:  # pragma: no cover - child
+    if package_parent not in sys.path:
+        sys.path.insert(0, package_parent)
+
+
+def _worker_run(experiment_id: str, quick: bool) -> dict[str, Any]:
+    """Executed in a worker process; returns a picklable payload."""
+    from repro.experiments import registry
+
+    spec = registry.get(experiment_id)
+    start = time.perf_counter()
+    result = spec.runner(quick=quick)
+    return {
+        "experiment_id": experiment_id,
+        "duration_s": time.perf_counter() - start,
+        "result": result.as_dict(),
+    }
+
+
+def _error_text(exc: BaseException) -> str:
+    tail = traceback.format_exception_only(type(exc), exc)
+    return "".join(tail).strip() or type(exc).__name__
+
+
+def run_batch(
+    ids: Sequence[str],
+    *,
+    quick: bool = True,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    journal: RunJournal | None = None,
+    resume_completed: Iterable[str] = (),
+    timeout: float | None = None,
+    retries: int = 1,
+) -> BatchSummary:
+    """Run ``ids``; returns per-task outcomes in input order.
+
+    ``cache=None`` disables caching entirely. ``timeout`` bounds how long
+    the scheduler waits per task and only applies to pool execution
+    (``jobs > 1``); a timed-out task is recorded as failed without retry,
+    though its worker may hold the slot until the attempt finishes.
+    ``retries`` is the number of *additional* attempts granted to a task
+    whose execution raised.
+    """
+    from repro import telemetry
+    from repro.experiments import registry
+
+    start = time.perf_counter()
+    resume_completed = set(resume_completed)
+    if journal is not None:
+        journal.write_header(ids=list(ids), quick=quick, jobs=jobs)
+    telemetry.gauge("runtime.workers").set(jobs)
+
+    with telemetry.span("batch", n_tasks=len(ids), jobs=jobs, quick=quick):
+        outcomes: dict[str, TaskOutcome] = {}
+        to_execute: list[str] = []
+        for exp_id in ids:
+            if exp_id in resume_completed:
+                outcomes[exp_id] = TaskOutcome(exp_id, "skipped")
+                telemetry.counter("runtime.tasks.resumed").inc()
+                if journal is not None:
+                    journal.record(exp_id, "skipped")
+                continue
+            if journal is not None:
+                journal.record(exp_id, "pending")
+            cached = None
+            if cache is not None:
+                key = registry.get(exp_id).task_key(quick=quick)
+                with telemetry.span("cache.lookup", id=exp_id):
+                    cached = cache.get(key)
+            if cached is not None:
+                outcomes[exp_id] = TaskOutcome(
+                    exp_id, "done", result=cached, cache_hit=True
+                )
+                telemetry.counter("runtime.cache.hits").inc()
+                if journal is not None:
+                    journal.record(exp_id, "done", cache="hit")
+            else:
+                if cache is not None:
+                    telemetry.counter("runtime.cache.misses").inc()
+                to_execute.append(exp_id)
+
+        executed = (
+            _execute_inline(
+                to_execute, quick=quick, journal=journal, retries=retries
+            )
+            if jobs <= 1
+            else _execute_pool(
+                to_execute,
+                quick=quick,
+                jobs=jobs,
+                journal=journal,
+                timeout=timeout,
+                retries=retries,
+            )
+        )
+        for exp_id, outcome in executed.items():
+            outcomes[exp_id] = outcome
+            if outcome.status == "done":
+                telemetry.counter("runtime.tasks.completed").inc()
+                telemetry.histogram("runtime.task_wall_s").observe(
+                    outcome.duration_s
+                )
+                if cache is not None and outcome.result is not None:
+                    key = registry.get(exp_id).task_key(quick=quick)
+                    cache.put(
+                        key,
+                        outcome.result,
+                        quick=quick,
+                        wall_time_s=outcome.duration_s,
+                    )
+            else:
+                telemetry.counter("runtime.tasks.failed").inc()
+
+    summary = BatchSummary(
+        outcomes=[outcomes[exp_id] for exp_id in ids],
+        jobs=jobs,
+        quick=quick,
+        wall_time_s=time.perf_counter() - start,
+    )
+    if cache is not None:
+        cache.record_run(
+            hits=summary.cache_hits, misses=summary.cache_misses
+        )
+    return summary
+
+
+def _run_with_manifest(
+    exp_id: str, *, quick: bool
+) -> tuple[ExperimentResult, float]:
+    """Execute one task in-process under a span + provenance manifest.
+
+    Calls the driver directly (not :func:`repro.experiments.registry.run`)
+    so no invocation-specific telemetry table ends up inside a result that
+    may be cached and replayed later.
+    """
+    from repro import telemetry
+    from repro.experiments import registry
+
+    spec = registry.get(exp_id)
+    manifest = telemetry.start_manifest(exp_id, quick=quick)
+    status = "ok"
+    start = time.perf_counter()
+    try:
+        with telemetry.span("task", id=exp_id, quick=quick):
+            result = spec.runner(quick=quick)
+    except Exception:
+        status = "error"
+        raise
+    finally:
+        telemetry.finish_manifest(manifest, status=status)
+    return _normalize(result), time.perf_counter() - start
+
+
+def _execute_inline(
+    ids: Sequence[str],
+    *,
+    quick: bool,
+    journal: RunJournal | None,
+    retries: int,
+) -> dict[str, TaskOutcome]:
+    outcomes: dict[str, TaskOutcome] = {}
+    for exp_id in ids:
+        for attempt in range(1, retries + 2):
+            if journal is not None:
+                journal.record(exp_id, "running", attempt=attempt)
+            try:
+                result, duration = _run_with_manifest(exp_id, quick=quick)
+            except Exception as exc:
+                outcomes[exp_id] = TaskOutcome(
+                    exp_id,
+                    "failed",
+                    attempts=attempt,
+                    error=_error_text(exc),
+                )
+                if journal is not None:
+                    journal.record(
+                        exp_id,
+                        "failed",
+                        attempt=attempt,
+                        error=_error_text(exc),
+                    )
+                continue
+            outcomes[exp_id] = TaskOutcome(
+                exp_id,
+                "done",
+                result=result,
+                duration_s=duration,
+                attempts=attempt,
+            )
+            if journal is not None:
+                journal.record(
+                    exp_id,
+                    "done",
+                    cache="miss",
+                    duration_s=duration,
+                    attempt=attempt,
+                )
+            break
+    return outcomes
+
+
+def _execute_pool(
+    ids: Sequence[str],
+    *,
+    quick: bool,
+    jobs: int,
+    journal: RunJournal | None,
+    timeout: float | None,
+    retries: int,
+) -> dict[str, TaskOutcome]:
+    from repro import telemetry
+
+    outcomes: dict[str, TaskOutcome] = {}
+    if not ids:
+        return outcomes
+    attempts = {exp_id: 0 for exp_id in ids}
+    pending = list(ids)
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(ids)),
+        initializer=_worker_init,
+        initargs=(_package_parent(),),
+    ) as pool:
+        while pending:
+            futures = {}
+            for exp_id in pending:
+                attempts[exp_id] += 1
+                if journal is not None:
+                    journal.record(
+                        exp_id, "running", attempt=attempts[exp_id]
+                    )
+                futures[exp_id] = pool.submit(_worker_run, exp_id, quick)
+            round_failures: list[str] = []
+            for exp_id, future in futures.items():
+                attempt = attempts[exp_id]
+                try:
+                    with telemetry.span("task.wait", id=exp_id):
+                        payload = future.result(timeout=timeout)
+                except FutureTimeoutError:
+                    future.cancel()
+                    error = f"timed out after {timeout}s"
+                    outcomes[exp_id] = TaskOutcome(
+                        exp_id, "failed", attempts=attempt, error=error
+                    )
+                    if journal is not None:
+                        journal.record(
+                            exp_id, "failed", attempt=attempt, error=error
+                        )
+                    continue
+                except (Exception, CancelledError) as exc:
+                    error = _error_text(exc)
+                    if journal is not None:
+                        journal.record(
+                            exp_id, "failed", attempt=attempt, error=error
+                        )
+                    if attempt <= retries:
+                        telemetry.counter("runtime.tasks.retried").inc()
+                        round_failures.append(exp_id)
+                    else:
+                        outcomes[exp_id] = TaskOutcome(
+                            exp_id, "failed", attempts=attempt, error=error
+                        )
+                    continue
+                outcomes[exp_id] = TaskOutcome(
+                    exp_id,
+                    "done",
+                    result=ExperimentResult.from_dict(payload["result"]),
+                    duration_s=payload["duration_s"],
+                    attempts=attempt,
+                )
+                if journal is not None:
+                    journal.record(
+                        exp_id,
+                        "done",
+                        cache="miss",
+                        duration_s=payload["duration_s"],
+                        attempt=attempt,
+                    )
+            pending = round_failures
+    return outcomes
