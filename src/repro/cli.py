@@ -146,14 +146,39 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECS",
-        help="approximate per-task timeout (parallel runs only)",
+        help=(
+            "per-task timeout, measured from each task's own start on a "
+            "worker (parallel runs only); a task past its deadline is "
+            "journaled as 'timeout', its hung worker is reaped by "
+            "recycling the pool, and the task is retried like a failure"
+        ),
     )
     runp.add_argument(
         "--retries",
         type=int,
         default=1,
         metavar="N",
-        help="extra attempts for a task whose execution raised (default 1)",
+        help=(
+            "extra attempts for a task whose execution raised or timed "
+            "out (default 1)"
+        ),
+    )
+    runp.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="SECS",
+        help=(
+            "base delay before retrying a failed or timed-out task, "
+            "doubling per attempt (default 0 = retry immediately)"
+        ),
+    )
+    runp.add_argument(
+        "--backoff-max",
+        type=float,
+        default=30.0,
+        metavar="SECS",
+        help="ceiling for one exponential-backoff delay (default 30)",
     )
     cachep = sub.add_parser(
         "cache", help="inspect or clear the content-addressed result cache"
@@ -280,6 +305,8 @@ def _run_batch(ids: list[str], args: argparse.Namespace) -> int:
             resume_completed=resume_completed,
             timeout=args.timeout,
             retries=args.retries,
+            backoff=args.backoff,
+            backoff_max=args.backoff_max,
         )
     finally:
         if journal is not None:
@@ -288,7 +315,7 @@ def _run_batch(ids: list[str], args: argparse.Namespace) -> int:
         if outcome.result is not None:
             _emit_result(outcome.result, args)
     print(batch_summary_section(summary), file=sys.stderr)
-    return 1 if summary.failed else 0
+    return 1 if summary.failed or summary.timed_out else 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:

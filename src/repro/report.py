@@ -123,7 +123,8 @@ def batch_summary_section(summary: "BatchSummary") -> str:
         f"{summary.wall_time_s:.2f} s; cache hit rate "
         f"{summary.hit_rate:.1%} "
         f"({summary.cache_hits} hits / {summary.cache_misses} misses), "
-        f"{len(summary.skipped)} resumed, {len(summary.failed)} failed.\n\n"
+        f"{len(summary.skipped)} resumed, {len(summary.failed)} failed, "
+        f"{len(summary.timed_out)} timed out.\n\n"
     )
     out.write(
         "| task | status | source | wall_s | attempts |\n"
@@ -134,14 +135,18 @@ def batch_summary_section(summary: "BatchSummary") -> str:
             source = "journal"
         elif o.cache_hit:
             source = "cache"
-        else:
+        elif o.status == "done":
             source = "computed"
+        else:
+            source = "-"
         out.write(
             f"| {o.experiment_id} | {o.status} | {source} | "
             f"{o.duration_s:.3f} | {o.attempts} |\n"
         )
     for o in summary.failed:
         out.write(f"\n- `{o.experiment_id}` failed: {o.error}\n")
+    for o in summary.timed_out:
+        out.write(f"\n- `{o.experiment_id}` timed out: {o.error}\n")
     out.write("\n")
     return out.getvalue()
 

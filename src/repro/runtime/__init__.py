@@ -14,11 +14,17 @@ that makes re-running it cheap:
 * **Journal** (:mod:`repro.runtime.journal`) — append-only JSONL task
   log; an interrupted batch resumes with ``--resume <journal>``.
 * **Scheduler** (:mod:`repro.runtime.scheduler`) — fans tasks across a
-  process pool (``--jobs N``) with bounded retry and per-task timeout,
-  emitting spans and counters through :mod:`repro.telemetry`.
+  process pool (``--jobs N``) with bounded retry, exponential backoff,
+  and deadline-accurate per-task timeouts (hung workers are reaped by
+  recycling the pool), emitting spans and counters through
+  :mod:`repro.telemetry`.
+* **Faults** (:mod:`repro.runtime.faults`) — deterministic hang / crash
+  / delay / flaky-once injection (``OPM_REPRO_FAULTS``) so the
+  scheduler's unhappy paths are testable without real wall-clock hangs.
 """
 
 from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.faults import FaultInjected, FaultPlan
 from repro.runtime.fingerprint import source_digest, task_key
 from repro.runtime.journal import RunJournal, completed_tasks, final_statuses
 from repro.runtime.scheduler import BatchSummary, TaskOutcome, run_batch
@@ -26,6 +32,8 @@ from repro.runtime.scheduler import BatchSummary, TaskOutcome, run_batch
 __all__ = [
     "BatchSummary",
     "CacheStats",
+    "FaultInjected",
+    "FaultPlan",
     "ResultCache",
     "RunJournal",
     "TaskOutcome",

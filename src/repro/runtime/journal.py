@@ -5,7 +5,9 @@ one JSON object per line, flushed per event, so a SIGKILL mid-sweep
 loses at most the line being written. A later invocation passes the same
 file to ``--resume``: tasks whose *last* recorded status is terminal
 (``done`` or ``skipped``) are not re-executed, everything else (still
-``pending``/``running`` when the process died, or ``failed``) runs again.
+``pending``/``running`` when the process died, ``failed``, or
+``timeout``) runs again — a timed-out task is interrupted work, not a
+verdict, so resume always re-runs it.
 Resume appends to the same file, so the journal stays a complete record
 of the batch across however many invocations it took to finish.
 """
@@ -27,7 +29,7 @@ class JournalEntry:
     """One task-lifecycle event, as read back from a journal file."""
 
     task: str
-    status: str  # pending | running | done | failed | skipped
+    status: str  # pending | running | done | failed | timeout | skipped
     cache: str | None = None  # "hit" | "miss" for done entries
     duration_s: float | None = None
     attempt: int = 1

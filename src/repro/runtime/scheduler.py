@@ -7,20 +7,37 @@ Runs a set of experiment ids through (in order of precedence per task):
 2. the **result cache** — a task whose content-addressed key (see
    :mod:`repro.runtime.fingerprint`) is cached returns in milliseconds;
 3. **execution** — inline for ``jobs=1``, or fanned out across a
-   ``ProcessPoolExecutor`` with bounded retry on worker failure and an
-   approximate per-task timeout.
+   ``ProcessPoolExecutor`` with bounded retry, exponential backoff, and
+   a deadline-accurate per-task timeout.
+
+Timeouts are *per task, measured from that task's own submission to a
+free worker*: submission is throttled to the pool width, every in-flight
+task carries a monotonic deadline, and a ``concurrent.futures.wait``
+polling loop declares a task ``timeout`` the moment its own deadline
+passes — never after some other task's wait. Because a running
+``ProcessPoolExecutor`` future cannot be cancelled, a hung worker is
+reaped by recycling the executor (terminate + fresh pool) so a stuck
+process can never silently occupy a slot for the rest of the batch;
+innocent in-flight tasks are resubmitted on the fresh pool without
+consuming an extra attempt. Timed-out tasks participate in the same
+bounded-retry/backoff path as crashed tasks and are journaled with a
+distinct ``timeout`` status, which ``--resume`` treats as re-runnable.
 
 Every computed result is normalized through the ``as_dict``/``from_dict``
 round-trip before it is rendered or cached, so serial runs, parallel
 runs, and cache hits all print byte-identical tables.
 
 With telemetry enabled the scheduler opens a ``batch`` span with one
-``task`` (inline) or ``task.wait`` (pool) child per executed experiment,
-keeps a run manifest per inline-executed task, and publishes
-``runtime.cache.hits`` / ``runtime.cache.misses`` /
-``runtime.tasks.*`` counters plus a ``runtime.task_wall_s`` histogram and
-a ``runtime.workers`` gauge — the numbers behind the batch summary
-section in reports.
+``task`` (inline) or ``task.wait`` (pool) child per executed experiment
+and ``pool.reap`` spans around executor recycling, keeps a run manifest
+per inline-executed task, and publishes ``runtime.cache.hits`` /
+``runtime.cache.misses`` / ``runtime.tasks.*`` (including
+``runtime.tasks.timeout``) / ``runtime.pool.recycled`` counters plus a
+``runtime.task_wall_s`` histogram and a ``runtime.workers`` gauge — the
+numbers behind the batch summary section in reports.
+
+Deterministic fault injection for all of these paths lives in
+:mod:`repro.runtime.faults`.
 """
 
 from __future__ import annotations
@@ -30,16 +47,23 @@ import sys
 import time
 import traceback
 from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
     CancelledError,
+    Future,
     ProcessPoolExecutor,
-    TimeoutError as FutureTimeoutError,
+    wait as futures_wait,
 )
 from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 from repro.experiments.results import ExperimentResult
+from repro.runtime import faults
 from repro.runtime.cache import ResultCache
 from repro.runtime.journal import RunJournal
+
+#: Ceiling for one exponential-backoff delay between retry attempts.
+DEFAULT_BACKOFF_MAX_S = 30.0
 
 
 @dataclasses.dataclass
@@ -47,7 +71,7 @@ class TaskOutcome:
     """What happened to one experiment in a batch."""
 
     experiment_id: str
-    status: str  # done | failed | skipped
+    status: str  # done | failed | timeout | skipped
     result: ExperimentResult | None = None
     cache_hit: bool = False
     duration_s: float = 0.0
@@ -81,6 +105,10 @@ class BatchSummary:
         return [o for o in self.outcomes if o.status == "failed"]
 
     @property
+    def timed_out(self) -> list[TaskOutcome]:
+        return [o for o in self.outcomes if o.status == "timeout"]
+
+    @property
     def skipped(self) -> list[TaskOutcome]:
         return [o for o in self.outcomes if o.status == "skipped"]
 
@@ -95,12 +123,14 @@ class BatchSummary:
         parts = [
             f"batch: {done}/{len(self.outcomes)} done"
             f" ({self.cache_hits} cached, {len(self.skipped)} resumed,"
-            f" {len(self.failed)} failed)",
+            f" {len(self.failed)} failed, {len(self.timed_out)} timed out)",
             f"jobs={self.jobs} wall={self.wall_time_s:.2f}s"
             f" hit-rate={self.hit_rate:.1%}",
         ]
         for o in self.failed:
             parts.append(f"FAILED {o.experiment_id}: {o.error}")
+        for o in self.timed_out:
+            parts.append(f"TIMEOUT {o.experiment_id}: {o.error}")
         return "\n".join(parts)
 
 
@@ -125,6 +155,7 @@ def _worker_run(experiment_id: str, quick: bool) -> dict[str, Any]:
     """Executed in a worker process; returns a picklable payload."""
     from repro.experiments import registry
 
+    faults.apply(experiment_id)
     spec = registry.get(experiment_id)
     start = time.perf_counter()
     result = spec.runner(quick=quick)
@@ -140,6 +171,13 @@ def _error_text(exc: BaseException) -> str:
     return "".join(tail).strip() or type(exc).__name__
 
 
+def _backoff_delay(attempt: int, backoff: float, backoff_max: float) -> float:
+    """Delay before retry number ``attempt + 1`` (exponential, capped)."""
+    if backoff <= 0.0:
+        return 0.0
+    return min(backoff * (2.0 ** (attempt - 1)), backoff_max)
+
+
 def run_batch(
     ids: Sequence[str],
     *,
@@ -150,15 +188,20 @@ def run_batch(
     resume_completed: Iterable[str] = (),
     timeout: float | None = None,
     retries: int = 1,
+    backoff: float = 0.0,
+    backoff_max: float = DEFAULT_BACKOFF_MAX_S,
 ) -> BatchSummary:
     """Run ``ids``; returns per-task outcomes in input order.
 
-    ``cache=None`` disables caching entirely. ``timeout`` bounds how long
-    the scheduler waits per task and only applies to pool execution
-    (``jobs > 1``); a timed-out task is recorded as failed without retry,
-    though its worker may hold the slot until the attempt finishes.
-    ``retries`` is the number of *additional* attempts granted to a task
-    whose execution raised.
+    ``cache=None`` disables caching entirely. ``timeout`` bounds each
+    task's execution measured from *its own* submission to a worker and
+    only applies to pool execution (``jobs > 1``); a task past its
+    deadline is journaled as ``timeout``, its hung worker is reaped by
+    recycling the pool, and — like a crashed task — it is retried while
+    attempts remain. ``retries`` is the number of *additional* attempts
+    granted to a task whose execution raised or timed out. ``backoff``
+    seconds (doubling per attempt, capped at ``backoff_max``) separate a
+    failure from its retry.
     """
     from repro import telemetry
     from repro.experiments import registry
@@ -200,7 +243,12 @@ def run_batch(
 
         executed = (
             _execute_inline(
-                to_execute, quick=quick, journal=journal, retries=retries
+                to_execute,
+                quick=quick,
+                journal=journal,
+                retries=retries,
+                backoff=backoff,
+                backoff_max=backoff_max,
             )
             if jobs <= 1
             else _execute_pool(
@@ -210,6 +258,8 @@ def run_batch(
                 journal=journal,
                 timeout=timeout,
                 retries=retries,
+                backoff=backoff,
+                backoff_max=backoff_max,
             )
         )
         for exp_id, outcome in executed.items():
@@ -227,7 +277,9 @@ def run_batch(
                         quick=quick,
                         wall_time_s=outcome.duration_s,
                     )
-            else:
+            elif outcome.status != "timeout":
+                # timeout events are already counted per occurrence by
+                # the pool loop (runtime.tasks.timeout).
                 telemetry.counter("runtime.tasks.failed").inc()
 
     summary = BatchSummary(
@@ -255,6 +307,7 @@ def _run_with_manifest(
     from repro import telemetry
     from repro.experiments import registry
 
+    faults.apply(exp_id)
     spec = registry.get(exp_id)
     manifest = telemetry.start_manifest(exp_id, quick=quick)
     status = "ok"
@@ -276,6 +329,8 @@ def _execute_inline(
     quick: bool,
     journal: RunJournal | None,
     retries: int,
+    backoff: float = 0.0,
+    backoff_max: float = DEFAULT_BACKOFF_MAX_S,
 ) -> dict[str, TaskOutcome]:
     outcomes: dict[str, TaskOutcome] = {}
     for exp_id in ids:
@@ -298,6 +353,10 @@ def _execute_inline(
                         attempt=attempt,
                         error=_error_text(exc),
                     )
+                if attempt <= retries:
+                    delay = _backoff_delay(attempt, backoff, backoff_max)
+                    if delay > 0.0:
+                        time.sleep(delay)
                 continue
             outcomes[exp_id] = TaskOutcome(
                 exp_id,
@@ -318,6 +377,57 @@ def _execute_inline(
     return outcomes
 
 
+@dataclasses.dataclass
+class _InFlight:
+    """Book-keeping for one submitted-but-unresolved pool task."""
+
+    experiment_id: str
+    submitted_at: float  # time.monotonic() at submission
+    deadline: float | None  # submitted_at + timeout, None = no timeout
+
+
+@dataclasses.dataclass
+class _Waiting:
+    """A task queued for (re)submission."""
+
+    experiment_id: str
+    ready_at: float  # time.monotonic() before which it must not start
+    new_attempt: bool  # False when requeued by a pool recycle
+
+
+def _new_pool(jobs: int, n_tasks: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=min(jobs, n_tasks),
+        initializer=_worker_init,
+        initargs=(_package_parent(),),
+    )
+
+
+def _reap_pool(pool: ProcessPoolExecutor, *, reason: str, n_hung: int) -> None:
+    """Terminate a pool whose running futures cannot be cancelled.
+
+    ``shutdown(cancel_futures=True)`` only drops *queued* work; a worker
+    stuck inside a task would keep the process alive forever, so the
+    worker processes are terminated (then killed if necessary) after the
+    executor stops accepting work.
+    """
+    from repro import telemetry
+
+    with telemetry.span("pool.reap", reason=reason, n_hung=n_hung):
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        deadline = time.monotonic() + 2.0
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():  # pragma: no cover - stubborn child
+                proc.kill()
+                proc.join(timeout=1.0)
+    telemetry.counter("runtime.pool.recycled").inc()
+
+
 def _execute_pool(
     ids: Sequence[str],
     *,
@@ -326,65 +436,147 @@ def _execute_pool(
     journal: RunJournal | None,
     timeout: float | None,
     retries: int,
+    backoff: float = 0.0,
+    backoff_max: float = DEFAULT_BACKOFF_MAX_S,
 ) -> dict[str, TaskOutcome]:
+    """Deadline-driven pool execution.
+
+    Submission is throttled to the pool width so a task's deadline clock
+    starts when it actually reaches a worker, not when the batch began.
+    The loop wakes on the first completion or the earliest deadline /
+    backoff expiry, whichever comes first, so a hung task is declared
+    ``timeout`` about ``timeout`` seconds after *its own* start even if
+    it was submitted last.
+    """
     from repro import telemetry
+    from repro.experiments import registry
 
     outcomes: dict[str, TaskOutcome] = {}
     if not ids:
         return outcomes
+    # Load every experiment driver in the parent *before* forking the
+    # pool: workers inherit the warm module graph, so a task's first
+    # execution is not charged ~0.5 s of scipy imports against its
+    # deadline (under a spawn start method the import cost reappears in
+    # the worker — timeouts there must budget for startup).
+    registry.get(ids[0])
+    max_workers = min(jobs, len(ids))
     attempts = {exp_id: 0 for exp_id in ids}
-    pending = list(ids)
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(ids)),
-        initializer=_worker_init,
-        initargs=(_package_parent(),),
-    ) as pool:
-        while pending:
-            futures = {}
-            for exp_id in pending:
-                attempts[exp_id] += 1
+    waiting: list[_Waiting] = [_Waiting(exp_id, 0.0, True) for exp_id in ids]
+    running: dict[Future, _InFlight] = {}
+    pool = _new_pool(jobs, len(ids))
+    recycle_reason: str | None = None
+    hung = 0
+
+    def resolve(exp_id: str, status: str, **kwargs: Any) -> None:
+        outcomes[exp_id] = TaskOutcome(
+            exp_id, status, attempts=attempts[exp_id], **kwargs
+        )
+
+    def requeue_for_retry(exp_id: str, now: float) -> None:
+        telemetry.counter("runtime.tasks.retried").inc()
+        delay = _backoff_delay(attempts[exp_id], backoff, backoff_max)
+        waiting.append(_Waiting(exp_id, now + delay, True))
+
+    try:
+        while waiting or running:
+            now = time.monotonic()
+            # A recycle request (hung worker or broken pool) is honored
+            # once the loop is back at a submission point: every innocent
+            # in-flight task is requeued (no extra attempt charged) and a
+            # fresh executor replaces the poisoned one.
+            if recycle_reason is not None:
+                for future, flight in running.items():
+                    future.cancel()
+                    waiting.append(
+                        _Waiting(flight.experiment_id, now, False)
+                    )
+                running.clear()
+                _reap_pool(pool, reason=recycle_reason, n_hung=hung)
+                pool = _new_pool(jobs, len(ids))
+                recycle_reason = None
+                hung = 0
+
+            # Fill free worker slots with tasks whose backoff has expired.
+            ready = [w for w in waiting if w.ready_at <= now]
+            while ready and len(running) < max_workers:
+                item = ready.pop(0)
+                waiting.remove(item)
+                if item.new_attempt:
+                    attempts[item.experiment_id] += 1
                 if journal is not None:
                     journal.record(
-                        exp_id, "running", attempt=attempts[exp_id]
+                        item.experiment_id,
+                        "running",
+                        attempt=attempts[item.experiment_id],
                     )
-                futures[exp_id] = pool.submit(_worker_run, exp_id, quick)
-            round_failures: list[str] = []
-            for exp_id, future in futures.items():
+                future = pool.submit(
+                    _worker_run, item.experiment_id, quick
+                )
+                running[future] = _InFlight(
+                    experiment_id=item.experiment_id,
+                    submitted_at=now,
+                    deadline=None if timeout is None else now + timeout,
+                )
+
+            if not running:
+                # Everything is waiting out a backoff delay.
+                next_ready = min(w.ready_at for w in waiting)
+                time.sleep(max(0.0, next_ready - time.monotonic()))
+                continue
+
+            # Sleep until something completes, a deadline passes, or a
+            # backoff expires — whichever is first.
+            wake_times = [
+                f.deadline for f in running.values() if f.deadline is not None
+            ] + [w.ready_at for w in waiting if w.ready_at > now]
+            poll = (
+                None
+                if not wake_times
+                else max(0.0, min(wake_times) - time.monotonic())
+            )
+            done, _ = futures_wait(
+                running, timeout=poll, return_when=FIRST_COMPLETED
+            )
+
+            now = time.monotonic()
+            for future in done:
+                flight = running.pop(future)
+                exp_id = flight.experiment_id
                 attempt = attempts[exp_id]
+                wait_s = now - flight.submitted_at
                 try:
-                    with telemetry.span("task.wait", id=exp_id):
-                        payload = future.result(timeout=timeout)
-                except FutureTimeoutError:
-                    future.cancel()
-                    error = f"timed out after {timeout}s"
-                    outcomes[exp_id] = TaskOutcome(
-                        exp_id, "failed", attempts=attempt, error=error
-                    )
-                    if journal is not None:
-                        journal.record(
-                            exp_id, "failed", attempt=attempt, error=error
-                        )
-                    continue
+                    payload = future.result(timeout=0)
                 except (Exception, CancelledError) as exc:
                     error = _error_text(exc)
                     if journal is not None:
                         journal.record(
                             exp_id, "failed", attempt=attempt, error=error
                         )
+                    if isinstance(exc, BrokenExecutor):
+                        # The whole executor is poisoned (worker died
+                        # outside our control); every sibling future is
+                        # about to fail the same way — recycle instead.
+                        recycle_reason = recycle_reason or "broken-pool"
+                    with telemetry.span(
+                        "task.wait", id=exp_id, status="failed",
+                        wait_s=wait_s,
+                    ):
+                        pass
                     if attempt <= retries:
-                        telemetry.counter("runtime.tasks.retried").inc()
-                        round_failures.append(exp_id)
+                        requeue_for_retry(exp_id, now)
                     else:
-                        outcomes[exp_id] = TaskOutcome(
-                            exp_id, "failed", attempts=attempt, error=error
-                        )
+                        resolve(exp_id, "failed", error=error)
                     continue
-                outcomes[exp_id] = TaskOutcome(
+                with telemetry.span(
+                    "task.wait", id=exp_id, status="done", wait_s=wait_s
+                ):
+                    pass
+                resolve(
                     exp_id,
                     "done",
                     result=ExperimentResult.from_dict(payload["result"]),
                     duration_s=payload["duration_s"],
-                    attempts=attempt,
                 )
                 if journal is not None:
                     journal.record(
@@ -394,5 +586,48 @@ def _execute_pool(
                         duration_s=payload["duration_s"],
                         attempt=attempt,
                     )
-            pending = round_failures
+
+            # Deadline sweep: anything still running past its own
+            # deadline is declared timed out *now*, not when its future
+            # happens to be waited on.
+            expired = [
+                (future, flight)
+                for future, flight in running.items()
+                if flight.deadline is not None and flight.deadline <= now
+            ]
+            for future, flight in expired:
+                del running[future]
+                future.cancel()  # no-op for running futures; documented
+                exp_id = flight.experiment_id
+                attempt = attempts[exp_id]
+                elapsed = now - flight.submitted_at
+                error = (
+                    f"timed out after {elapsed:.2f}s"
+                    f" (timeout {timeout}s, attempt {attempt})"
+                )
+                telemetry.counter("runtime.tasks.timeout").inc()
+                with telemetry.span(
+                    "task.wait", id=exp_id, status="timeout",
+                    wait_s=elapsed,
+                ):
+                    pass
+                if journal is not None:
+                    journal.record(
+                        exp_id, "timeout", attempt=attempt, error=error,
+                        duration_s=elapsed,
+                    )
+                hung += 1
+                recycle_reason = recycle_reason or "hung-worker"
+                if attempt <= retries:
+                    requeue_for_retry(exp_id, now)
+                else:
+                    resolve(
+                        exp_id, "timeout", error=error, duration_s=elapsed
+                    )
+    finally:
+        if recycle_reason is not None or hung:
+            _reap_pool(pool, reason=recycle_reason or "hung-worker",
+                       n_hung=hung)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
     return outcomes

@@ -63,18 +63,20 @@ def read_mm(src: str | Path | TextIO) -> CSRMatrix:
             raise ValueError(f"unsupported field type: {field}")
         if symmetry not in ("general", "symmetric", "skew-symmetric"):
             raise ValueError(f"unsupported symmetry: {symmetry}")
+        line_no = 1  # the header line just read
         line = fh.readline()
-        while line.startswith("%"):
+        line_no += 1
+        while line and (line.startswith("%") or not line.strip()):
             line = fh.readline()
-        n_rows, n_cols, nnz = (int(tok) for tok in line.split())
-        rows = np.empty(nnz, dtype=np.int64)
-        cols = np.empty(nnz, dtype=np.int64)
-        vals = np.empty(nnz, dtype=np.float64)
-        for k in range(nnz):
-            toks = fh.readline().split()
-            rows[k] = int(toks[0]) - 1
-            cols[k] = int(toks[1]) - 1
-            vals[k] = float(toks[2]) if field != "pattern" else 1.0
+            line_no += 1
+        try:
+            n_rows, n_cols, nnz = (int(tok) for tok in line.split())
+        except ValueError:
+            raise ValueError(
+                f"line {line_no}: expected 'rows cols nnz' size line, "
+                f"got {line.strip()!r}"
+            ) from None
+        rows, cols, vals = _read_entries(fh, nnz, field, line_no)
     finally:
         if own:
             fh.close()
@@ -87,6 +89,72 @@ def read_mm(src: str | Path | TextIO) -> CSRMatrix:
         vals = np.concatenate([vals, mirror_vals])
     coo = sp.coo_matrix((vals, (rows, cols)), shape=(n_rows, n_cols))
     return CSRMatrix.from_scipy(coo.tocsr())
+
+
+def _read_entries(
+    fh: TextIO, nnz: int, field: str, size_line_no: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Parse the ``nnz`` coordinate entries following the size line.
+
+    Blank lines inside the entry section are skipped (some exporters pad
+    with them); a structurally short line raises a :class:`ValueError`
+    naming its 1-based line number instead of the bare ``IndexError`` a
+    per-token loop would produce. The numeric conversion is vectorized
+    (one ``astype`` per column) so multi-million-entry UF matrices parse
+    in NumPy rather than in a Python loop; only when a bulk conversion
+    fails do we re-scan to locate and report the offending line.
+    """
+    if nnz == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    want = 2 if field == "pattern" else 3
+    entries: list[list[str]] = []
+    line_nos: list[int] = []
+    line_no = size_line_no
+    while len(entries) < nnz:
+        line = fh.readline()
+        if not line:
+            raise ValueError(
+                f"line {line_no + 1}: unexpected end of file after "
+                f"{len(entries)} of {nnz} entries"
+            )
+        line_no += 1
+        toks = line.split()
+        if not toks:
+            continue  # blank padding line inside the entry section
+        if len(toks) < want:
+            raise ValueError(
+                f"line {line_no}: matrix entry needs {want} fields "
+                f"({'row col' if want == 2 else 'row col value'}), "
+                f"got {line.strip()!r}"
+            )
+        entries.append(toks[:want])
+        line_nos.append(line_no)
+    table = np.array(entries, dtype=object)
+    try:
+        rows = table[:, 0].astype(np.int64) - 1
+        cols = table[:, 1].astype(np.int64) - 1
+        vals = (
+            np.ones(nnz, dtype=np.float64)
+            if field == "pattern"
+            else table[:, 2].astype(np.float64)
+        )
+    except (ValueError, TypeError):
+        for toks, bad_line_no in zip(entries, line_nos):
+            try:
+                int(toks[0]), int(toks[1])
+                if field != "pattern":
+                    float(toks[2])
+            except ValueError:
+                raise ValueError(
+                    f"line {bad_line_no}: malformed matrix entry "
+                    f"{' '.join(toks)!r}"
+                ) from None
+        raise
+    return rows, cols, vals
 
 
 def round_trip(matrix: CSRMatrix) -> CSRMatrix:

@@ -26,5 +26,7 @@ def write_csv(
     """Write a table to ``path`` (parent directories created)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(to_csv_string(columns, rows))
+    # Explicit UTF-8: these files feed the content-addressed cache's
+    # identity checks, so bytes must not vary with the platform locale.
+    path.write_text(to_csv_string(columns, rows), encoding="utf-8")
     return path

@@ -177,6 +177,21 @@ class TestJournal:
             fh.write('{"event": "task", "task": "b", "sta')  # killed mid-write
         assert completed_tasks(path) == {"a"}
 
+    def test_timeout_status_is_not_terminal_for_resume(self, tmp_path):
+        """Regression: a timed-out task must be re-run by --resume."""
+        path = tmp_path / "j.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("a", "running")
+            journal.record(
+                "a", "timeout", error="timed out after 2.00s", attempt=2
+            )
+            journal.record("b", "done")
+        assert completed_tasks(path) == {"b"}
+        entry = final_statuses(path)["a"]
+        assert entry.status == "timeout"
+        assert entry.attempt == 2
+        assert "timed out" in entry.error
+
     def test_resume_appends(self, tmp_path):
         path = tmp_path / "j.jsonl"
         with RunJournal(path) as journal:

@@ -168,3 +168,48 @@ class TestMatrixMarket:
         write_mm(m, path)
         again = read_mm(path)
         np.testing.assert_allclose(again.to_dense(), m.to_dense())
+
+    def test_blank_lines_in_entry_section_are_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 1 1.0\n"
+            "\n"
+            "2 2 4.0\n"
+        )
+        d = read_mm(io.StringIO(text)).to_dense()
+        assert d[0, 0] == 1.0 and d[1, 1] == 4.0
+
+    def test_short_entry_line_names_line_number(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 1 1.0\n"
+            "2 2\n"
+        )
+        with pytest.raises(ValueError, match="line 4"):
+            read_mm(io.StringIO(text))
+
+    def test_non_numeric_entry_names_line_number(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 1 1.0\n"
+            "2 one 4.0\n"
+        )
+        with pytest.raises(ValueError, match="line 4"):
+            read_mm(io.StringIO(text))
+
+    def test_truncated_entry_section_raises_clearly(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n"
+            "1 1 1.0\n"
+        )
+        with pytest.raises(ValueError, match="unexpected end of file"):
+            read_mm(io.StringIO(text))
+
+    def test_malformed_size_line_names_line_number(self):
+        text = "%%MatrixMarket matrix coordinate real general\nnot a size\n"
+        with pytest.raises(ValueError, match="line 2"):
+            read_mm(io.StringIO(text))

@@ -93,3 +93,9 @@ class TestCsv:
         path = write_csv(tmp_path / "deep" / "t.csv", ["c"], [(1,)])
         assert path.exists()
         assert path.read_text() == "c\n1\n"
+
+    def test_write_csv_is_utf8_regardless_of_locale(self, tmp_path):
+        # CSV artifacts feed the cache's identity checks, so the bytes
+        # must not depend on the platform-default encoding.
+        path = write_csv(tmp_path / "t.csv", ["kernel"], [("café—µs",)])
+        assert path.read_bytes() == "kernel\ncafé—µs\n".encode("utf-8")
