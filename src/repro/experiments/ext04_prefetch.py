@@ -18,10 +18,10 @@ from __future__ import annotations
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
 from repro.kernels import GemmKernel, SpmvKernel, StencilKernel, StreamKernel
+from repro.kernels.traces import kernel_trace_chunks
 from repro.memory import for_broadwell
 from repro.platforms import broadwell
 from repro.sparse import generators
-from repro.trace import to_line_trace
 
 PREFETCHERS = (None, "next-line", "stride")
 
@@ -50,10 +50,12 @@ def run(quick: bool = True) -> ExperimentResult:
     machine = broadwell()
     rows = []
     for name, kernel in _workloads(quick).items():
-        trace = list(to_line_trace(kernel.trace(reps=2)))
+        # Chunk the trace once (ndarray line-address chunks) and replay
+        # it against each prefetcher configuration.
+        chunks = list(kernel_trace_chunks(kernel, reps=2))
         for kind in PREFETCHERS:
             h = for_broadwell(machine, scale=0.001, prefetch=kind)
-            stats = h.run(iter(trace))
+            stats = h.run_batched(chunks)
             pf = h._prefetcher
             rows.append(
                 (

@@ -10,6 +10,14 @@ simulator (``tests/test_kernel_traces.py``).
 Traces are meant for *small* configurations (the generators guard against
 accidentally emitting billions of events). Array placement mirrors the
 profile's ``arrays`` dict: consecutive page-aligned regions.
+
+:func:`kernel_trace_chunks` is the batched face of the same streams:
+kernels with regular loop nests (stream, gemm, spmv, sptrans, stencil,
+fft) construct their per-repetition reference order directly as numpy
+arrays; the level-scheduled solvers (cholesky, sptrsv) fall back to the
+scalar tracer behind :func:`repro.trace.batch.chunk_accesses`. Either way
+the emitted line-address chunks replay the scalar trace exactly, event
+for event (``tests/test_trace_batch.py`` pins this differentially).
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import telemetry
 from repro.kernels.base import Kernel
 from repro.kernels.cholesky import CholeskyKernel
 from repro.kernels.fft import FftKernel
@@ -27,7 +36,9 @@ from repro.kernels.sptrans import SptransKernel
 from repro.kernels.sptrsv import SptrsvKernel
 from repro.kernels.stencil import RADIUS, StencilKernel
 from repro.kernels.stream import StreamKernel
+from repro.platforms.spec import LINE_BYTES
 from repro.sparse.levels import build_levels
+from repro.trace.batch import CHUNK, chunk_accesses, chunk_arrays, expand_lines
 from repro.trace.events import Access
 
 PAGE = 4096
@@ -304,3 +315,247 @@ def kernel_trace(kernel: Kernel, *, reps: int = 1) -> Iterator[Access]:
         if isinstance(kernel, cls):
             return fn(kernel, reps=reps)  # type: ignore[arg-type]
     raise TypeError(f"no tracer for {type(kernel).__name__}")
+
+
+# -- batched (ndarray) tracers ----------------------------------------------
+#
+# Each builder returns one repetition's byte-granular reference stream as
+# (addrs, sizes, writes) arrays in the exact order of its scalar tracer;
+# ``sizes`` may be a scalar when every access is the same width.
+
+
+def _array_stream(kernel: StreamKernel, reps: int):
+    n = kernel.n
+    _guard(3 * n * reps, "stream")
+    base = _layout({"a": n * WORD, "b": n * WORD, "c": n * WORD})
+    i = np.arange(n, dtype=np.int64) * WORD
+    addrs = np.empty(3 * n, dtype=np.int64)
+    addrs[0::3] = base["b"] + i
+    addrs[1::3] = base["c"] + i
+    addrs[2::3] = base["a"] + i
+    writes = np.zeros(3 * n, dtype=bool)
+    writes[2::3] = True
+    return addrs, WORD, writes
+
+
+def _array_gemm(kernel: GemmKernel, reps: int):
+    n, b = kernel.order, min(kernel.tile, kernel.order)
+    _guard(2 * n**3 * reps, "gemm")
+    fp = n * n * WORD
+    base = _layout({"A": fp, "B": fp, "C": fp})
+    seg_a, seg_w = [], []
+    for i0 in range(0, n, b):
+        ii = np.arange(i0, min(i0 + b, n), dtype=np.int64)
+        for j0 in range(0, n, b):
+            jj = np.arange(j0, min(j0 + b, n), dtype=np.int64)
+            for p0 in range(0, n, b):
+                pp = np.arange(p0, min(p0 + b, n), dtype=np.int64)
+                bi, bj, bp = len(ii), len(jj), len(pp)
+                # Per (i, j): A(i,p),B(p,j) pairs over p, then C(i,j).
+                blk = np.empty((bi, bj, 2 * bp + 1), dtype=np.int64)
+                a_row = base["A"] + (ii[:, None] * n + pp[None, :]) * WORD
+                b_col = base["B"] + (pp[:, None] * n + jj[None, :]) * WORD
+                blk[:, :, 0 : 2 * bp : 2] = a_row[:, None, :]
+                blk[:, :, 1 : 2 * bp : 2] = np.swapaxes(b_col, 0, 1)[None, :, :]
+                blk[:, :, 2 * bp] = base["C"] + (ii[:, None] * n + jj[None, :]) * WORD
+                w = np.zeros((bi, bj, 2 * bp + 1), dtype=bool)
+                w[:, :, 2 * bp] = True
+                seg_a.append(blk.ravel())
+                seg_w.append(w.ravel())
+    return np.concatenate(seg_a), WORD, np.concatenate(seg_w)
+
+
+def _array_spmv(kernel: SpmvKernel, reps: int):
+    matrix = kernel.matrix if kernel.matrix is not None else kernel.descriptor.materialize()
+    _guard(4 * matrix.nnz * reps, "spmv")
+    n_rows, nnz = matrix.n_rows, matrix.nnz
+    base = _layout(
+        {
+            "vals": nnz * WORD,
+            "cols": nnz * 4,
+            "indptr": (n_rows + 1) * 4,
+            "x": matrix.n_cols * WORD,
+            "y": n_rows * WORD,
+        }
+    )
+    indptr = np.asarray(matrix.indptr, dtype=np.int64)
+    indices = np.asarray(matrix.indices, dtype=np.int64)
+    row_nnz = np.diff(indptr)
+    # Per row: indptr read, (cols, vals, x) per nonzero, y write.
+    counts = 3 * row_nnz + 2
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    rows = np.arange(n_rows, dtype=np.int64)
+    addrs = np.empty(total, dtype=np.int64)
+    sizes = np.full(total, WORD, dtype=np.int64)
+    writes = np.zeros(total, dtype=bool)
+    addrs[starts] = base["indptr"] + rows * 4
+    sizes[starts] = 4
+    ends = starts + counts - 1
+    addrs[ends] = base["y"] + rows * WORD
+    writes[ends] = True
+    if nnz:
+        row_of = np.repeat(rows, row_nnz)
+        pos = np.arange(nnz, dtype=np.int64) - np.repeat(indptr[:-1], row_nnz)
+        t0 = starts[row_of] + 1 + 3 * pos
+        k = np.arange(nnz, dtype=np.int64)
+        addrs[t0] = base["cols"] + k * 4
+        sizes[t0] = 4
+        addrs[t0 + 1] = base["vals"] + k * WORD
+        addrs[t0 + 2] = base["x"] + indices * WORD
+    return addrs, sizes, writes
+
+
+def _array_sptrans(kernel: SptransKernel, reps: int):
+    matrix = kernel.matrix if kernel.matrix is not None else kernel.descriptor.materialize()
+    _guard(6 * matrix.nnz * reps, "sptrans")
+    n_cols, nnz = matrix.n_cols, matrix.nnz
+    base = _layout(
+        {
+            "in_vals": nnz * WORD,
+            "in_cols": nnz * 4,
+            "counts": n_cols * 4,
+            "out_vals": nnz * WORD,
+            "out_rows": nnz * 4,
+            "out_ptr": (n_cols + 1) * 4,
+        }
+    )
+    indices = np.asarray(matrix.indices, dtype=np.int64)
+    order = np.argsort(indices, kind="stable")
+    slot_of = np.empty(nnz, dtype=np.int64)
+    slot_of[order] = np.arange(nnz)
+    k = np.arange(nnz, dtype=np.int64)
+    j = np.arange(n_cols, dtype=np.int64)
+    # Pass 1: in_cols read / counts write per nonzero.
+    p1 = np.empty(2 * nnz, dtype=np.int64)
+    p1[0::2] = base["in_cols"] + k * 4
+    p1[1::2] = base["counts"] + indices * 4
+    s1 = np.full(2 * nnz, 4, dtype=np.int64)
+    w1 = np.zeros(2 * nnz, dtype=bool)
+    w1[1::2] = True
+    # Pass 2: counts read / out_ptr write per column.
+    p2 = np.empty(2 * n_cols, dtype=np.int64)
+    p2[0::2] = base["counts"] + j * 4
+    p2[1::2] = base["out_ptr"] + j * 4
+    s2 = np.full(2 * n_cols, 4, dtype=np.int64)
+    w2 = np.zeros(2 * n_cols, dtype=bool)
+    w2[1::2] = True
+    # Pass 3: in_cols, in_vals reads; out_vals, out_rows scatter writes.
+    p3 = np.empty(4 * nnz, dtype=np.int64)
+    p3[0::4] = base["in_cols"] + k * 4
+    p3[1::4] = base["in_vals"] + k * WORD
+    p3[2::4] = base["out_vals"] + slot_of * WORD
+    p3[3::4] = base["out_rows"] + slot_of * 4
+    s3 = np.full(4 * nnz, WORD, dtype=np.int64)
+    s3[0::4] = 4
+    s3[3::4] = 4
+    w3 = np.zeros(4 * nnz, dtype=bool)
+    w3[2::4] = True
+    w3[3::4] = True
+    return (
+        np.concatenate((p1, p2, p3)),
+        np.concatenate((s1, s2, s3)),
+        np.concatenate((w1, w2, w3)),
+    )
+
+
+def _array_stencil(kernel: StencilKernel, reps: int):
+    nx, ny, nz = kernel.nx, kernel.ny, kernel.nz
+    cells_n = nx * ny * nz
+    _guard((6 * RADIUS + 4) * cells_n * kernel.steps * reps, "stencil")
+    grid_bytes = cells_n * WORD
+    base = _layout({"prev": grid_bytes, "curr": grid_bytes, "vel": grid_bytes})
+    r = RADIUS
+    di, dj, dk = ny * nz * WORD, nz * WORD, WORD
+    # Byte offsets of one cell's event run, relative to curr[i,j,k]:
+    # center read, 6 neighbors per radius step, prev, vel, center write.
+    offs = [0]
+    for t in range(1, r + 1):
+        offs += [t * di, -t * di, t * dj, -t * dj, t * dk, -t * dk]
+    offs += [base["prev"] - base["curr"], base["vel"] - base["curr"], 0]
+    offsets = np.array(offs, dtype=np.int64)
+    wpat = np.zeros(len(offs), dtype=bool)
+    wpat[-1] = True
+    ii = np.arange(r, nx - r, dtype=np.int64)
+    jj = np.arange(r, ny - r, dtype=np.int64)
+    kk = np.arange(r, nz - r, dtype=np.int64)
+    cells = (
+        base["curr"]
+        + ((ii[:, None, None] * ny + jj[None, :, None]) * nz + kk[None, None, :]).ravel()
+        * WORD
+    )
+    sweep = (cells[:, None] + offsets[None, :]).ravel()
+    sweep_w = np.tile(wpat, len(cells))
+    return np.tile(sweep, kernel.steps), WORD, np.tile(sweep_w, kernel.steps)
+
+
+def _array_fft(kernel: FftKernel, reps: int):
+    import math
+
+    n = kernel.size
+    stages = max(1, math.ceil(math.log2(n)))
+    _guard(3 * 2 * n**3 * stages * reps, "fft")
+    cbytes = 16
+    base = _layout({"cube": n**3 * cbytes})
+    a = np.arange(n, dtype=np.int64)
+    seg_a, seg_w = [], []
+    # (a, b, c) loop coefficients realizing the Y, X, Z pass index maps
+    # of trace_fft: idx = a*ca + b*cb + c*cc.
+    for ca, cb, cc in ((n * n, 1, n), (n, 1, n * n), (n * n, n, 1)):
+        idx = (
+            a[:, None, None] * ca + a[None, :, None] * cb + a[None, None, :] * cc
+        ).ravel()
+        pts = base["cube"] + idx * cbytes
+        pair = np.repeat(pts, 2)  # read then write of the same point
+        w = np.zeros(pair.size, dtype=bool)
+        w[1::2] = True
+        for _ in range(stages):
+            seg_a.append(pair)
+            seg_w.append(w)
+    return np.concatenate(seg_a), cbytes, np.concatenate(seg_w)
+
+
+_ARRAY_TRACERS = {
+    StreamKernel: _array_stream,
+    GemmKernel: _array_gemm,
+    SpmvKernel: _array_spmv,
+    SptransKernel: _array_sptrans,
+    StencilKernel: _array_stencil,
+    FftKernel: _array_fft,
+}
+
+
+def kernel_trace_chunks(
+    kernel: Kernel,
+    *,
+    reps: int = 1,
+    line: int = LINE_BYTES,
+    chunk: int = CHUNK,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Line-address chunks of ``kernel``'s trace (batched fast path).
+
+    Yields ``(line_addrs, writes)`` ndarray pairs replaying exactly the
+    stream of ``to_line_trace(kernel_trace(kernel, reps), line)``. The
+    regular kernels expand one repetition vectorized and replay it
+    ``reps`` times; the level-scheduled solvers (cholesky, sptrsv) adapt
+    their scalar tracers through :func:`repro.trace.batch.chunk_accesses`.
+    """
+    for cls, fn in _ARRAY_TRACERS.items():
+        if isinstance(kernel, cls):
+            # Same span name (and counter) as Kernel.trace: consumers
+            # key on the logical phase, not on which path generated it.
+            with telemetry.span(
+                "kernel.trace", kernel=kernel.name, reps=reps, batched=True
+            ) as sp:
+                addrs, sizes, writes = fn(kernel, reps)
+                la, lw = expand_lines(addrs, sizes, writes, line)
+                n = int(la.size) * reps
+                sp.set_attr("events", n)
+                telemetry.counter(f"kernel.{kernel.name}.trace_events").inc(n)
+
+            def replay() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+                for _ in range(reps):
+                    yield from chunk_arrays(la, lw, chunk)
+
+            return replay()
+    return chunk_accesses(kernel_trace(kernel, reps=reps), line, chunk)

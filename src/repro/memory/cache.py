@@ -13,13 +13,17 @@ pure-Python equivalent of an intrusive LRU list.
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Iterator
+from typing import Iterator, NamedTuple
 
 
-@dataclasses.dataclass(frozen=True)
-class Eviction:
-    """A line pushed out of a cache, with its dirtiness."""
+class Eviction(NamedTuple):
+    """A line pushed out of a cache, with its dirtiness.
+
+    A NamedTuple rather than a frozen dataclass: evictions are minted on
+    every replacement, and tuple construction is several times cheaper
+    than ``object.__setattr__``-based frozen-dataclass init while keeping
+    the same field access, equality, and repr surface.
+    """
 
     line: int
     dirty: bool
@@ -62,6 +66,18 @@ class SetAssociativeCache:
         self.n_evictions = 0
         self.n_dirty_evictions = 0
         self.n_invalidations = 0
+        # Dirty-line flow ledger. Every dirty entry this cache ever holds
+        # enters through exactly one of {created (a write access),
+        # received (a dirty insert onto a clean/absent entry)} and leaves
+        # through exactly one of {dirty eviction, extract, merge (a dirty
+        # insert coalescing onto an already-dirty entry), invalidation} —
+        # or is still resident. The hierarchy's writeback-conservation
+        # property test closes the books over these counters.
+        self.n_dirty_created = 0
+        self.n_dirty_received = 0
+        self.n_dirty_merged = 0
+        self.n_dirty_extracted = 0
+        self.n_dirty_invalidated = 0
 
     # -- core operations ---------------------------------------------------
 
@@ -82,10 +98,12 @@ class SetAssociativeCache:
 
         Misses allocate (write-allocate policy); writes mark dirty.
         """
-        s = self._set_of(line_addr)
+        s = self._sets[line_addr & (self.n_sets - 1)]  # _set_of, inlined (hot)
         if line_addr in s:
-            dirty = s.pop(line_addr) or write
-            s[line_addr] = dirty
+            was_dirty = s.pop(line_addr)
+            if write and not was_dirty:
+                self.n_dirty_created += 1
+            s[line_addr] = was_dirty or write
             return True, None
         evicted = None
         if len(s) >= self.ways:
@@ -95,13 +113,21 @@ class SetAssociativeCache:
             self.n_evictions += 1
             self.n_dirty_evictions += victim_dirty
         s[line_addr] = write
+        if write:
+            self.n_dirty_created += 1
         return False, evicted
 
     def insert(self, line_addr: int, *, dirty: bool = False) -> Eviction | None:
         """Install a line (e.g. a victim fill) without counting a reference."""
-        s = self._set_of(line_addr)
+        s = self._sets[line_addr & (self.n_sets - 1)]  # _set_of, inlined (hot)
         if line_addr in s:
-            s[line_addr] = s.pop(line_addr) or dirty
+            was_dirty = s.pop(line_addr)
+            if dirty:
+                if was_dirty:
+                    self.n_dirty_merged += 1
+                else:
+                    self.n_dirty_received += 1
+            s[line_addr] = was_dirty or dirty
             return None
         evicted = None
         if len(s) >= self.ways:
@@ -111,6 +137,8 @@ class SetAssociativeCache:
             self.n_evictions += 1
             self.n_dirty_evictions += victim_dirty
         s[line_addr] = dirty
+        if dirty:
+            self.n_dirty_received += 1
         return evicted
 
     def extract(self, line_addr: int) -> bool | None:
@@ -121,12 +149,15 @@ class SetAssociativeCache:
         """
         s = self._set_of(line_addr)
         if line_addr in s:
-            return s.pop(line_addr)
+            dirty = s.pop(line_addr)
+            self.n_dirty_extracted += dirty
+            return dirty
         return None
 
     def invalidate_all(self) -> None:
         """Drop all contents (used between experiment repetitions)."""
         for s in self._sets:
+            self.n_dirty_invalidated += sum(1 for d in s.values() if d)
             s.clear()
         self.n_invalidations += 1
 
@@ -136,6 +167,10 @@ class SetAssociativeCache:
             "evictions": self.n_evictions,
             "dirty_evictions": self.n_dirty_evictions,
             "invalidations": self.n_invalidations,
+            "dirty_created": self.n_dirty_created,
+            "dirty_received": self.n_dirty_received,
+            "dirty_merged": self.n_dirty_merged,
+            "dirty_extracted": self.n_dirty_extracted,
         }
 
     # -- introspection -----------------------------------------------------
@@ -150,6 +185,29 @@ class SetAssociativeCache:
         """All line addresses currently cached (unordered across sets)."""
         for s in self._sets:
             yield from s
+
+    def dirty_lines(self) -> Iterator[int]:
+        """Line addresses currently cached dirty (unordered across sets)."""
+        for s in self._sets:
+            for line_addr, dirty in s.items():
+                if dirty:
+                    yield line_addr
+
+    def dirty_resident(self) -> int:
+        """Number of dirty lines currently resident."""
+        return sum(1 for _ in self.dirty_lines())
+
+    def dirty_flows(self) -> dict[str, int]:
+        """The dirty-line ledger (see the counter comment in __init__)."""
+        return {
+            "created": self.n_dirty_created,
+            "received": self.n_dirty_received,
+            "merged": self.n_dirty_merged,
+            "extracted": self.n_dirty_extracted,
+            "invalidated": self.n_dirty_invalidated,
+            "dirty_evictions": self.n_dirty_evictions,
+            "resident_dirty": self.dirty_resident(),
+        }
 
     @property
     def is_direct_mapped(self) -> bool:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro import telemetry
 from repro.memory.allocator import Node, NumaAllocator
 from repro.memory.cache import Eviction, SetAssociativeCache
@@ -24,6 +26,11 @@ from repro.memory.stats import HierarchyStats, LevelStats
 from repro.memory.victim import VictimCache
 from repro.platforms.spec import MachineSpec
 from repro.platforms.tuning import EdramMode, McdramMode
+
+
+#: Sentinel distinguishing "absent" from a stored dirty flag in the
+#: batched inner loop's single-operation set probes.
+_MISS = object()
 
 
 class _CacheStage:
@@ -67,9 +74,16 @@ class Hierarchy:
             LevelStats(name="MCDRAM", line=line) if mcdram_cache is not None else None
         )
         self._allocator = allocator
-        #: Optional prefetcher (repro.memory.prefetch) observing the L2
-        #: demand stream and inserting into the L2 stage's cache.
+        #: Optional prefetcher (repro.memory.prefetch) observing the core
+        #: reference stream and inserting into the deepest on-chip cache
+        #: (the last stage), mirroring an LLC-side hardware prefetcher.
         self._prefetcher = prefetcher
+        if prefetcher is not None:
+            # Victims displaced by prefetch fills take the same path as
+            # demand-fill evictions at the target level; without this,
+            # dirty LLC lines displaced by prefetches would vanish with
+            # no writeback counted.
+            prefetcher.on_evict = self._prefetch_displaced
         self._dram_stats = LevelStats(name=memory_names[0], line=line)
         self._flat_stats = (
             LevelStats(name=memory_names[1], line=line) if allocator is not None else None
@@ -78,35 +92,24 @@ class Hierarchy:
         # repeated run() calls on one hierarchy publish deltas, not
         # ever-growing cumulative sums.
         self._published: dict[str, dict[str, int]] = {}
+        # Dirty-flow counter totals at the last reset(): the conservation
+        # ledger reports per-epoch deltas while the underlying cache
+        # counters stay monotone for telemetry.
+        self._ledger_base: dict[str, dict[str, int]] = {}
 
     # -- simulation --------------------------------------------------------
 
     def access(self, line_addr: int, *, write: bool = False) -> str:
-        """Reference one cache line; returns the servicing level's name."""
+        """Reference one cache line; returns the servicing level's name.
+
+        This is the scalar *oracle* path: one reference at a time, every
+        stage probed through the generic walk. The batched
+        :meth:`run_array` path must stay byte-identical to it
+        (``tests/test_trace_batch.py`` enforces this differentially).
+        """
         if self._prefetcher is not None:
-            issued = self._prefetcher.observe(line_addr)
-            if issued:
-                # Prefetch fills are real traffic: they load the target
-                # stage from memory (counted as DRAM reads + stage fills).
-                self._stages[-1].stats.fills += len(issued)
-                self._dram_stats.accesses += len(issued)
-                self._dram_stats.hits += len(issued)
-        serviced: str | None = None
-        for i, stage in enumerate(self._stages):
-            stage.stats.accesses += 1
-            hit, ev = stage.cache.access(line_addr, write=write)
-            if hit:
-                stage.stats.hits += 1
-            else:
-                stage.stats.misses += 1
-                stage.stats.fills += 1
-            self._handle_eviction(i, ev)
-            if hit:
-                serviced = stage.name
-                break
-        if serviced is None:
-            serviced = self._service_below(line_addr, write)
-        return serviced
+            self._prefetch_observe(line_addr)
+        return self._walk(0, line_addr, write)
 
     def run(self, trace: Iterable[tuple[int, bool]]) -> HierarchyStats:
         """Drive a whole (line_addr, is_write) trace and return the stats."""
@@ -130,13 +133,228 @@ class Hierarchy:
         self._publish_telemetry()
         return self.stats()
 
+    # -- batched fast path -------------------------------------------------
+
+    def run_array(
+        self,
+        addrs: np.ndarray,
+        writes: np.ndarray | bool | None = None,
+    ) -> HierarchyStats:
+        """Drive one ndarray chunk of line addresses (batched fast path).
+
+        ``addrs`` is a 1-D integer array of line addresses; ``writes`` is
+        a matching bool array, a scalar bool applied to every reference,
+        or ``None`` (all reads). Telemetry is hoisted to chunk
+        granularity and the inner loop binds every hot attribute to a
+        local, but the simulated behaviour — cache contents, eviction
+        order, every counter — is byte-identical to feeding the same
+        references through :meth:`access` one at a time.
+        """
+        alist, wlist = _coerce_chunk(addrs, writes)
+        # Same span name as the scalar run(): consumers key on the
+        # logical operation; the attribute says which path produced it.
+        with telemetry.span("hierarchy.run", line=self.line, batched=True) as sp:
+            self._run_chunk(alist, wlist)
+            sp.set_attr("refs", len(alist))
+        self._publish_telemetry()
+        return self.stats()
+
+    def run_batched(
+        self,
+        chunks: Iterable[tuple[np.ndarray, np.ndarray | bool | None]],
+    ) -> HierarchyStats:
+        """Drive an iterable of ``(addrs, writes)`` ndarray chunks.
+
+        The streaming companion to :meth:`run_array` — chunk generators
+        (``repro.trace.batch``, ``repro.kernels.traces.kernel_trace_chunks``)
+        plug in directly; one telemetry span covers the whole batch.
+        """
+        with telemetry.span("hierarchy.run", line=self.line, batched=True) as sp:
+            total = 0
+            for addrs, writes in chunks:
+                alist, wlist = _coerce_chunk(addrs, writes)
+                self._run_chunk(alist, wlist)
+                total += len(alist)
+            sp.set_attr("refs", total)
+        self._publish_telemetry()
+        return self.stats()
+
     # -- internals ---------------------------------------------------------
+
+    def _walk(self, start: int, line_addr: int, write: bool) -> str:
+        """Probe stages ``start`` and below; fill on misses; service."""
+        stages = self._stages
+        last = len(stages) - 1
+        for i in range(start, last + 1):
+            stage = stages[i]
+            st = stage.stats
+            st.accesses += 1
+            hit, ev = stage.cache.access(line_addr, write=write)
+            if hit:
+                st.hits += 1
+                return stage.name
+            st.misses += 1
+            st.fills += 1
+            # A clean victim of a non-last stage needs no handling
+            # (_handle_eviction would fall straight through); skipping
+            # the call is a pure fast-path, not a behaviour change.
+            if ev is not None and (ev.dirty or i == last):
+                self._handle_eviction(i, ev)
+        return self._service_below(line_addr, write)
+
+    def _prefetch_observe(self, line_addr: int) -> None:
+        issued = self._prefetcher.observe(line_addr)
+        if issued:
+            # Prefetch fills are real traffic: they load the target
+            # stage from memory (counted as DRAM reads + stage fills).
+            self._stages[-1].stats.fills += len(issued)
+            self._dram_stats.accesses += len(issued)
+            self._dram_stats.hits += len(issued)
+
+    def _prefetch_displaced(self, ev: Eviction) -> None:
+        """Sink for victims displaced out of the LLC by prefetch fills."""
+        self._handle_eviction(len(self._stages) - 1, ev)
+
+    def _run_chunk(self, alist: list, wlist: list) -> None:
+        # The batched inner loop. Two rules keep it honest: (1) the
+        # first two levels — where nearly every reference resolves — are
+        # inlined against the raw set dicts with all counters
+        # accumulated in locals and flushed once per chunk; (2)
+        # everything deeper goes through the exact same
+        # _walk/_handle_eviction code as the scalar oracle, in the same
+        # order (a victim is propagated *before* the walk probes the
+        # next level, exactly as access() does via cache.access followed
+        # by _handle_eviction). A clean victim of a non-last stage is
+        # dropped without constructing an Eviction: _handle_eviction
+        # would fall straight through for it anyway, and minting the
+        # object dominated the miss path.
+        stages = self._stages
+        n_stages = len(stages)
+        stage0 = stages[0]
+        cache0 = stage0.cache
+        sets0 = cache0._sets
+        mask0 = cache0.n_sets - 1
+        ways0 = cache0.ways
+        deep = n_stages > 1
+        if deep:
+            stage1 = stages[1]
+            cache1 = stage1.cache
+            sets1 = cache1._sets
+            mask1 = cache1.n_sets - 1
+            ways1 = cache1.ways
+            last1 = n_stages == 2
+        walk = self._walk
+        if self._prefetcher is not None:
+            # Prefetcher runs interleave observe() with every reference;
+            # drive them through the same observe+walk sequence as the
+            # scalar oracle (identical by construction) so the lean loop
+            # below never pays a per-reference prefetcher check.
+            # Telemetry stays hoisted to chunk granularity either way.
+            observe = self._prefetch_observe
+            for addr, w in zip(alist, wlist):
+                observe(addr)
+                walk(0, addr, w)
+            return
+        handle = self._handle_eviction
+        service = self._service_below
+        make_ev = Eviction
+        miss = _MISS  # sentinel: probe + LRU-pop in one dict operation
+        hits0 = created0 = evs0 = devs0 = 0
+        acc1 = hits1 = created1 = evs1 = devs1 = 0
+        for addr, w in zip(alist, wlist):
+            s = sets0[addr & mask0]
+            was_dirty = s.pop(addr, miss)
+            if was_dirty is not miss:
+                hits0 += 1
+                if w and not was_dirty:
+                    created0 += 1
+                    s[addr] = True
+                else:
+                    s[addr] = was_dirty
+                continue
+            # First-level miss: write-allocate fill, LRU victim out.
+            if len(s) >= ways0:
+                victim_line, victim_dirty = next(iter(s.items()))
+                del s[victim_line]
+                evs0 += 1
+                s[addr] = w
+                if w:
+                    created0 += 1
+                if victim_dirty:
+                    devs0 += 1
+                    handle(0, make_ev(victim_line, True))
+                elif not deep:
+                    handle(0, make_ev(victim_line, False))
+            else:
+                s[addr] = w
+                if w:
+                    created0 += 1
+            if not deep:
+                service(addr, w)
+                continue
+            # Second level, same inline shape.
+            acc1 += 1
+            s = sets1[addr & mask1]
+            was_dirty = s.pop(addr, miss)
+            if was_dirty is not miss:
+                hits1 += 1
+                if w and not was_dirty:
+                    created1 += 1
+                    s[addr] = True
+                else:
+                    s[addr] = was_dirty
+                continue
+            if len(s) >= ways1:
+                victim_line, victim_dirty = next(iter(s.items()))
+                del s[victim_line]
+                evs1 += 1
+                s[addr] = w
+                if w:
+                    created1 += 1
+                if victim_dirty:
+                    devs1 += 1
+                    handle(1, make_ev(victim_line, True))
+                elif last1:
+                    handle(1, make_ev(victim_line, False))
+            else:
+                s[addr] = w
+                if w:
+                    created1 += 1
+            if last1:
+                service(addr, w)
+            else:
+                walk(2, addr, w)
+        n = len(alist)
+        st = stage0.stats
+        misses0 = n - hits0
+        st.accesses += n
+        st.hits += hits0
+        st.misses += misses0
+        st.fills += misses0
+        cache0.n_evictions += evs0
+        cache0.n_dirty_evictions += devs0
+        cache0.n_dirty_created += created0
+        if deep:
+            st = stage1.stats
+            misses1 = acc1 - hits1
+            st.accesses += acc1
+            st.hits += hits1
+            st.misses += misses1
+            st.fills += misses1
+            cache1.n_evictions += evs1
+            cache1.n_dirty_evictions += devs1
+            cache1.n_dirty_created += created1
 
     def _handle_eviction(self, level_idx: int, ev: Eviction | None) -> None:
         if ev is None:
             return
         stage = self._stages[level_idx]
         is_llc = level_idx == len(self._stages) - 1
+        if is_llc and self._prefetcher is not None:
+            # An evicted line can no longer redeem an outstanding
+            # prefetch; forgetting this inflated accuracy and let the
+            # outstanding set grow without bound.
+            self._prefetcher.line_evicted(ev.line)
         if is_llc and self._victim is not None:
             # L3 eviction fills the eDRAM victim cache (paper Section 2.1).
             assert self._victim_stats is not None
@@ -151,7 +369,13 @@ class Hierarchy:
             if not is_llc:
                 # Propagate dirtiness to the next level's copy (it was
                 # installed on the walk down for recently shared lines).
-                self._stages[level_idx + 1].cache.insert(ev.line, dirty=True)
+                # The insert itself may displace a victim; that victim
+                # takes the same path as a demand-fill eviction at that
+                # level — dropping it silently lost dirty writebacks.
+                displaced = self._stages[level_idx + 1].cache.insert(
+                    ev.line, dirty=True
+                )
+                self._handle_eviction(level_idx + 1, displaced)
             else:
                 self._absorb_llc_writeback(ev)
 
@@ -192,8 +416,14 @@ class Hierarchy:
             if dirty is not None:
                 self._victim_stats.hits += 1
                 if dirty:
-                    # Promotion keeps the dirty bit in the LLC copy.
-                    self._stages[-1].cache.insert(line_addr, dirty=True)
+                    # Promotion keeps the dirty bit in the LLC copy. The
+                    # walk above already installed the line in the LLC,
+                    # so this merges in place and displaces nothing; the
+                    # displaced-victim routing is defensive.
+                    displaced = self._stages[-1].cache.insert(
+                        line_addr, dirty=True
+                    )
+                    self._handle_eviction(len(self._stages) - 1, displaced)
                 return self._victim_stats.name
             self._victim_stats.misses += 1
             self._dram_stats.accesses += 1
@@ -266,7 +496,7 @@ class Hierarchy:
         return HierarchyStats(levels=levels)
 
     def reset(self) -> None:
-        """Drop cache contents and zero all counters."""
+        """Drop cache contents, zero all counters, forget predictor state."""
         for stage in self._stages:
             stage.cache.invalidate_all()
             stage.stats = LevelStats(name=stage.name, line=self.line)
@@ -283,11 +513,130 @@ class Hierarchy:
             self._flat_stats = LevelStats(
                 name=self._flat_stats.name, line=self.line
             )
+        if self._prefetcher is not None:
+            # Stale stride/outstanding state from a previous repetition
+            # would leak prefetches (and accuracy) into the next one.
+            self._prefetcher.reset()
         # Level counters restart at zero; drop their publish baselines
         # (cache replacement counters survive invalidate_all, keep theirs).
         self._published = {
             k: v for k, v in self._published.items() if k.startswith("cache:")
         }
+        # Close the previous epoch's dirty-flow books (the invalidations
+        # above consumed its resident dirty lines) and start fresh.
+        self._ledger_base = {
+            name: dict(cache.dirty_flows())
+            for name, cache in self._dirty_caches()
+        }
+
+    # -- writeback conservation --------------------------------------------
+
+    def _dirty_caches(self) -> list[tuple[str, SetAssociativeCache]]:
+        caches = [(s.name, s.cache) for s in self._stages]
+        if self._victim is not None:
+            assert self._victim_stats is not None
+            caches.append((self._victim_stats.name, self._victim.cache))
+        if self._mcdram_cache is not None:
+            caches.append(("MCDRAM", self._mcdram_cache))
+        return caches
+
+    def dirty_ledger(self) -> dict[str, dict[str, int]]:
+        """Per-cache dirty-line flow counters for the current epoch.
+
+        An epoch starts at construction or :meth:`reset`; the underlying
+        cache counters stay monotone for telemetry, so the ledger
+        subtracts the baseline captured at the last reset.
+        """
+        ledger: dict[str, dict[str, int]] = {}
+        for name, cache in self._dirty_caches():
+            flows = cache.dirty_flows()
+            base = self._ledger_base.get(name)
+            if base:
+                flows = {k: v - base.get(k, 0) for k, v in flows.items()}
+            ledger[name] = flows
+        return ledger
+
+    def memory_writebacks(self) -> int:
+        """Dirty lines that arrived at memory (DRAM plus flat MCDRAM)."""
+        total = self._dram_stats.writebacks
+        if self._flat_stats is not None:
+            total += self._flat_stats.writebacks
+        return total
+
+    def conservation_violations(self) -> list[str]:
+        """Audit writeback conservation; an empty list means books close.
+
+        Two laws that must hold for ANY trace on ANY platform shape:
+
+        * per cache: dirty lines created by writes plus dirty lines
+          received from above equal those still resident plus those
+          evicted dirty, extracted (victim promotion), or invalidated
+          (a merge coalesces the *arriving* line — booked as the
+          sender's out-flow — without minting a new entry here);
+        * across the hierarchy: every dirty line leaving a cache (dirty
+          eviction or extraction) arrives somewhere — another cache
+          (received/merged) or memory (writebacks counted at DRAM/flat).
+
+        The historical bugs this guards against: dirtiness-propagation
+        inserts and prefetch fills displacing dirty victims that were
+        silently dropped (lines left a cache and arrived nowhere).
+        """
+        ledger = self.dirty_ledger()
+        violations = []
+        for name, f in ledger.items():
+            lhs = f["created"] + f["received"]
+            rhs = (
+                f["resident_dirty"]
+                + f["dirty_evictions"]
+                + f["extracted"]
+                + f["invalidated"]
+            )
+            if lhs != rhs:
+                violations.append(
+                    f"{name}: created+received={lhs} != accounted={rhs} ({f})"
+                )
+        out_flow = sum(
+            f["dirty_evictions"] + f["extracted"] for f in ledger.values()
+        )
+        in_flow = sum(f["received"] + f["merged"] for f in ledger.values())
+        mem = self.memory_writebacks()
+        if out_flow != in_flow + mem:
+            violations.append(
+                f"hierarchy: dirty out-flow {out_flow} != "
+                f"in-flow {in_flow} + memory writebacks {mem}"
+            )
+        return violations
+
+
+def _coerce_chunk(
+    addrs: np.ndarray,
+    writes: np.ndarray | bool | None,
+) -> tuple[list, list]:
+    """Normalize one (addrs, writes) chunk to plain-Python lists.
+
+    ``tolist()`` materializes native ints/bools once per chunk; the inner
+    loop then runs on exactly the objects the scalar path sees (dict keys
+    hash identically, and per-element ndarray indexing — which boxes a
+    numpy scalar per reference — never happens).
+    """
+    arr = np.asarray(addrs)
+    if arr.ndim != 1:
+        raise ValueError("addrs must be a 1-D array of line addresses")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise TypeError(f"addrs must be integer line addresses, got {arr.dtype}")
+    n = arr.shape[0]
+    if writes is None:
+        wlist = [False] * n
+    elif isinstance(writes, (bool, np.bool_)):
+        wlist = [bool(writes)] * n
+    else:
+        warr = np.asarray(writes)
+        if warr.shape != arr.shape:
+            raise ValueError(
+                f"writes shape {warr.shape} does not match addrs {arr.shape}"
+            )
+        wlist = warr.astype(bool).tolist()
+    return arr.tolist(), wlist
 
 
 # -- builders ---------------------------------------------------------------

@@ -1,7 +1,7 @@
 """Hardware prefetcher models for the trace-driven simulator.
 
 The analytic engine's MLP story (valley model, SpTRSV inversion) rests on
-how much latency the memory system can hide; on real parts the L2
+how much latency the memory system can hide; on real parts the hardware
 prefetchers supply much of that concurrency. This module adds the two
 classic designs to the exact simulator so their effect is measurable
 rather than assumed:
@@ -10,16 +10,29 @@ rather than assumed:
 * :class:`StridePrefetcher` — per-PC-less stride table: detects constant
   strides in the global reference stream and runs ahead of them.
 
-Prefetches are issued into a target cache via ``insert`` (no reference
-counted) and tracked for accuracy statistics: *useful* prefetches are
-those whose line is touched before eviction.
+Both observe the demand stream of the hierarchy's *last-level* on-chip
+cache and insert into that same cache (see
+``repro.memory.hierarchy._make_prefetcher``). Prefetches are issued via
+``insert`` (no reference counted) and tracked for accuracy statistics:
+*useful* prefetches are those whose line is touched before eviction.
+
+A prefetch fill can displace a victim from the target cache. The
+displaced :class:`~repro.memory.cache.Eviction` is forwarded to the
+``on_evict`` sink (the hierarchy wires this to its normal LLC eviction
+handling) so dirty lines keep flowing to the victim cache / memory
+instead of silently vanishing. Symmetrically, the hierarchy reports
+demand-fill evictions from the target cache back via
+:meth:`line_evicted`, which drops the line from the outstanding-prefetch
+set — a later demand miss on an already-evicted prefetch must count as
+wasted, not useful.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable
 
-from repro.memory.cache import SetAssociativeCache
+from repro.memory.cache import Eviction, SetAssociativeCache
 
 
 @dataclasses.dataclass
@@ -32,35 +45,71 @@ class PrefetchStats:
         return self.useful / self.issued if self.issued else 0.0
 
 
-class NextLinePrefetcher:
+class _PrefetcherBase:
+    """Shared issue/track/evict plumbing for the concrete designs."""
+
+    def __init__(self, cache: SetAssociativeCache) -> None:
+        self.cache = cache
+        self.stats = PrefetchStats()
+        self._outstanding: set[int] = set()
+        #: Sink for victims displaced by prefetch fills; the hierarchy
+        #: routes these through its regular LLC eviction handling.
+        self.on_evict: Callable[[Eviction], None] | None = None
+
+    def _record_demand(self, line_addr: int) -> None:
+        """Score a demand access against the outstanding-prefetch set."""
+        if line_addr in self._outstanding:
+            self.stats.useful += 1
+            self._outstanding.discard(line_addr)
+
+    def _install(self, target: int) -> None:
+        """Insert one prefetched line, forwarding any displaced victim."""
+        ev = self.cache.insert(target)
+        self._outstanding.add(target)
+        self.stats.issued += 1
+        if ev is not None:
+            # The displaced line may itself be an untouched prefetch.
+            self._outstanding.discard(ev.line)
+            if self.on_evict is not None:
+                self.on_evict(ev)
+
+    def line_evicted(self, line_addr: int) -> None:
+        """Notify that the target cache evicted ``line_addr``.
+
+        Keeps the outstanding set honest (and bounded by the cache's
+        capacity): an evicted prefetch can no longer become useful.
+        """
+        self._outstanding.discard(line_addr)
+
+    def reset(self) -> None:
+        """Zero statistics and forget all predictor/outstanding state."""
+        self.stats = PrefetchStats()
+        self._outstanding.clear()
+
+
+class NextLinePrefetcher(_PrefetcherBase):
     """Sequential prefetcher with configurable degree."""
 
     def __init__(self, cache: SetAssociativeCache, *, degree: int = 2) -> None:
         if degree < 1:
             raise ValueError("degree must be >= 1")
-        self.cache = cache
+        super().__init__(cache)
         self.degree = degree
-        self.stats = PrefetchStats()
-        self._outstanding: set[int] = set()
 
     def observe(self, line_addr: int) -> list[int]:
         """Notify of a demand access; returns lines prefetched now."""
-        if line_addr in self._outstanding:
-            self.stats.useful += 1
-            self._outstanding.discard(line_addr)
+        self._record_demand(line_addr)
         issued = []
         for d in range(1, self.degree + 1):
             target = line_addr + d
             if target in self.cache or target in self._outstanding:
                 continue
-            self.cache.insert(target)
-            self._outstanding.add(target)
-            self.stats.issued += 1
+            self._install(target)
             issued.append(target)
         return issued
 
 
-class StridePrefetcher:
+class StridePrefetcher(_PrefetcherBase):
     """Global-stream stride detector with run-ahead.
 
     Tracks the last address and last stride; after ``confirm`` identical
@@ -78,20 +127,16 @@ class StridePrefetcher:
     ) -> None:
         if degree < 1 or confirm < 1:
             raise ValueError("degree and confirm must be >= 1")
-        self.cache = cache
+        super().__init__(cache)
         self.degree = degree
         self.confirm = confirm
-        self.stats = PrefetchStats()
         self._last_addr: int | None = None
         self._last_stride: int = 0
         self._streak: int = 0
-        self._outstanding: set[int] = set()
 
     def observe(self, line_addr: int) -> list[int]:
         """Notify of a demand access; returns lines prefetched now."""
-        if line_addr in self._outstanding:
-            self.stats.useful += 1
-            self._outstanding.discard(line_addr)
+        self._record_demand(line_addr)
         issued: list[int] = []
         if self._last_addr is not None:
             stride = line_addr - self._last_addr
@@ -105,9 +150,13 @@ class StridePrefetcher:
                     target = line_addr + stride * d
                     if target < 0 or target in self.cache or target in self._outstanding:
                         continue
-                    self.cache.insert(target)
-                    self._outstanding.add(target)
-                    self.stats.issued += 1
+                    self._install(target)
                     issued.append(target)
         self._last_addr = line_addr
         return issued
+
+    def reset(self) -> None:
+        super().reset()
+        self._last_addr = None
+        self._last_stride = 0
+        self._streak = 0

@@ -18,6 +18,11 @@ class VictimCache:
         self._cache = SetAssociativeCache(capacity, line=line, ways=ways)
 
     @property
+    def cache(self) -> SetAssociativeCache:
+        """The backing store (exposed for dirty-flow accounting)."""
+        return self._cache
+
+    @property
     def capacity(self) -> int:
         return self._cache.capacity
 

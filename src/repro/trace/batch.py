@@ -1,0 +1,115 @@
+"""Batched (ndarray) trace construction.
+
+The scalar trace path yields one :class:`~repro.trace.events.Access` per
+reference and expands it to ``(line_addr, is_write)`` tuples — clean, but
+every reference costs several Python-object allocations before the
+simulator even sees it. This module is the array half of the pipeline:
+byte-granular address/size/write *arrays* are expanded to line-address
+chunks entirely inside numpy, and the chunks feed
+:meth:`repro.memory.hierarchy.Hierarchy.run_array` /
+:meth:`~repro.memory.hierarchy.Hierarchy.run_batched` directly.
+
+The expansion is exact: for every access, the lines touched are
+``addr // line .. (addr + size - 1) // line`` in ascending order, matching
+:func:`repro.memory.cacheline.lines_touched` element for element, so a
+batched trace is a reordering-free reencoding of the scalar one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.platforms.spec import LINE_BYTES
+from repro.trace.events import Access
+
+#: Default chunk length (references per ndarray handed to the simulator).
+#: Large enough to amortize per-chunk overhead, small enough to stay
+#: cache-friendly and keep telemetry spans responsive.
+CHUNK = 1 << 16
+
+
+def expand_lines(
+    addrs: np.ndarray,
+    sizes: np.ndarray | int,
+    writes: np.ndarray | bool,
+    line: int = LINE_BYTES,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expand byte accesses into a (line_addrs, line_writes) pair.
+
+    ``sizes`` and ``writes`` may be scalars applied to every access. An
+    access spanning multiple lines contributes one entry per line, in
+    ascending line order at the access's position in the stream — the
+    exact order :func:`repro.trace.events.to_line_trace` produces.
+    """
+    addrs = np.asarray(addrs, dtype=np.int64)
+    if addrs.ndim != 1:
+        raise ValueError("addrs must be 1-D")
+    n = addrs.shape[0]
+    sizes_arr = np.broadcast_to(np.asarray(sizes, dtype=np.int64), (n,))
+    if n and int(sizes_arr.min()) <= 0:
+        raise ValueError("sizes must be positive")
+    writes_arr = np.broadcast_to(np.asarray(writes, dtype=bool), (n,))
+    first = addrs // line
+    last = (addrs + sizes_arr - 1) // line
+    counts = last - first + 1
+    if n == 0 or int(counts.max()) == 1:
+        # Common case: word-granular accesses never straddle a line.
+        return first, np.array(writes_arr, dtype=bool)
+    total = int(counts.sum())
+    expanded = np.repeat(first, counts)
+    # Within each access, offsets 0..count-1 reconstruct the line run.
+    starts = np.cumsum(counts) - counts
+    expanded += np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    return expanded, np.repeat(writes_arr, counts)
+
+
+def chunk_accesses(
+    accesses: Iterable[Access],
+    line: int = LINE_BYTES,
+    chunk: int = CHUNK,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Adapt a scalar :class:`Access` stream to line-address chunks.
+
+    The bridge for tracers without a native array emitter: buffers
+    ``chunk`` accesses at a time and expands each buffer vectorized.
+    Chunks may come out slightly longer than ``chunk`` when accesses
+    straddle lines; order is preserved exactly.
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    buf_a: list[int] = []
+    buf_s: list[int] = []
+    buf_w: list[bool] = []
+    for acc in accesses:
+        buf_a.append(acc.addr)
+        buf_s.append(acc.size)
+        buf_w.append(acc.write)
+        if len(buf_a) == chunk:
+            yield expand_lines(
+                np.array(buf_a, dtype=np.int64),
+                np.array(buf_s, dtype=np.int64),
+                np.array(buf_w, dtype=bool),
+                line,
+            )
+            buf_a, buf_s, buf_w = [], [], []
+    if buf_a:
+        yield expand_lines(
+            np.array(buf_a, dtype=np.int64),
+            np.array(buf_s, dtype=np.int64),
+            np.array(buf_w, dtype=bool),
+            line,
+        )
+
+
+def chunk_arrays(
+    addrs: np.ndarray,
+    writes: np.ndarray,
+    chunk: int = CHUNK,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Slice one long (line_addrs, writes) pair into simulator chunks."""
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    for i in range(0, len(addrs), chunk):
+        yield addrs[i : i + chunk], writes[i : i + chunk]

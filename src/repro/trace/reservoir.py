@@ -83,7 +83,7 @@ class SampledProfile:
 
 
 def sampled_stack_distances(
-    line_trace: Iterable[int],
+    line_trace: Iterable[int] | np.ndarray,
     *,
     window: int = 4096,
     period: int = 4,
@@ -96,6 +96,10 @@ def sampled_stack_distances(
     windows is analyzed exactly. Cold references at window starts are
     censored (distance unknown beyond the window), tracked in
     ``censored_fraction``.
+
+    ndarray traces are windowed by slicing — no per-reference Python
+    buffering — and each sampled window goes down
+    :func:`~repro.trace.stackdist.stack_distances`' vectorized path.
     """
     if window < 2:
         raise ValueError("window must be >= 2")
@@ -107,25 +111,44 @@ def sampled_stack_distances(
     censored = 0
     total = 0
     n_windows = 0
-    buffer: list[int] = []
-    index = 0
-    for line in line_trace:
-        buffer.append(line)
-        if len(buffer) == window:
-            if index % period == offset:
-                prof = stack_distances(buffer)
-                distances.append(prof.distances)
-                censored += prof.n_cold
-                total += prof.n_references
-                n_windows += 1
-            buffer = []
-            index += 1
-    if buffer and (index % period == offset or n_windows == 0):
-        prof = stack_distances(buffer)
-        distances.append(prof.distances)
-        censored += prof.n_cold
-        total += prof.n_references
-        n_windows += 1
+    if isinstance(line_trace, np.ndarray):
+        if line_trace.ndim != 1:
+            raise ValueError("line trace array must be 1-D")
+        n_full = line_trace.shape[0] // window
+        selected = [
+            line_trace[i * window : (i + 1) * window]
+            for i in range(n_full)
+            if i % period == offset
+        ]
+        tail = line_trace[n_full * window :]
+        if tail.size and (n_full % period == offset or not selected):
+            selected.append(tail)
+        for chunk in selected:
+            prof = stack_distances(chunk)
+            distances.append(prof.distances)
+            censored += prof.n_cold
+            total += prof.n_references
+            n_windows += 1
+    else:
+        buffer: list[int] = []
+        index = 0
+        for line in line_trace:
+            buffer.append(line)
+            if len(buffer) == window:
+                if index % period == offset:
+                    prof = stack_distances(buffer)
+                    distances.append(prof.distances)
+                    censored += prof.n_cold
+                    total += prof.n_references
+                    n_windows += 1
+                buffer = []
+                index += 1
+        if buffer and (index % period == offset or n_windows == 0):
+            prof = stack_distances(buffer)
+            distances.append(prof.distances)
+            censored += prof.n_cold
+            total += prof.n_references
+            n_windows += 1
     merged = (
         np.concatenate(distances) if distances else np.empty(0, dtype=np.int64)
     )

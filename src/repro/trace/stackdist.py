@@ -8,7 +8,22 @@ bridge between traces and the analytic hit-rate model
 (:mod:`repro.engine.hitrate`).
 
 Implemented with a Fenwick (binary indexed) tree over last-access
-timestamps: O(N log N) for a trace of N references.
+timestamps: O(N log N) for a trace of N references. Two input paths feed
+one Fenwick loop:
+
+* ndarray traces (the batched generators in :mod:`repro.trace.batch` /
+  :mod:`repro.kernels.traces`) — previous-occurrence indices are computed
+  fully vectorized, no ``list()`` round-trip;
+* generic iterables — a dict scan builds the same indices (and keeps the
+  historical behaviour that any hashable line key works).
+
+The per-timestamp ``add(t, +1)`` of the textbook algorithm is replaced by
+a closed-form preload of the all-ones tree (``tree[i] = i & -i``). That
+is exact, not an approximation: a Fenwick node ``i`` only aggregates
+positions ``<= i``, and ``prefix(i)`` only reads nodes ``<= i``, so the
++1 units preloaded at future timestamps are invisible to every query
+issued before their time arrives; removals happen in the same order as
+the incremental algorithm.
 """
 
 from __future__ import annotations
@@ -17,29 +32,6 @@ import dataclasses
 from typing import Iterable
 
 import numpy as np
-
-
-class _Fenwick:
-    """Prefix-sum tree over ``n`` slots."""
-
-    def __init__(self, n: int) -> None:
-        self._tree = np.zeros(n + 1, dtype=np.int64)
-
-    def add(self, i: int, delta: int) -> None:
-        i += 1
-        tree = self._tree
-        while i < len(tree):
-            tree[i] += delta
-            i += i & (-i)
-
-    def prefix(self, i: int) -> int:
-        """Sum of slots [0, i)."""
-        total = 0
-        tree = self._tree
-        while i > 0:
-            total += int(tree[i])
-            i -= i & (-i)
-        return total
 
 
 @dataclasses.dataclass
@@ -86,22 +78,90 @@ class StackDistanceProfile:
         return counts, edges
 
 
-def stack_distances(line_trace: Iterable[int]) -> StackDistanceProfile:
-    """Compute per-reference LRU stack distances for a line-address trace."""
-    lines = list(line_trace)
-    n = len(lines)
-    out = np.empty(n, dtype=np.int64)
-    last_seen: dict[int, int] = {}
-    tree = _Fenwick(n)
+def _prev_occurrence_vectorized(arr: np.ndarray) -> list[int]:
+    """Previous-occurrence index per reference (-1 for first touch).
+
+    Grouping by line via ``np.unique`` + stable argsort keeps each line's
+    timestamps in trace order, so "the previous element of my group" is
+    exactly the previous occurrence.
+    """
+    n = arr.shape[0]
+    inv = np.unique(arr, return_inverse=True)[1]
+    order = np.argsort(inv, kind="stable")
+    inv_sorted = inv[order]
+    prev_sorted = np.empty(n, dtype=np.int64)
+    prev_sorted[0] = -1
+    prev_sorted[1:] = np.where(
+        inv_sorted[1:] == inv_sorted[:-1], order[:-1], -1
+    )
+    prev = np.empty(n, dtype=np.int64)
+    prev[order] = prev_sorted
+    return prev.tolist()
+
+
+def _prev_occurrence_scan(lines: list) -> list[int]:
+    """Dict-scan fallback for arbitrary hashable line keys."""
+    last_seen: dict = {}
+    prev = []
     for t, line in enumerate(lines):
-        prev = last_seen.get(line)
-        if prev is None:
-            out[t] = -1
-        else:
-            # Distinct lines referenced in (prev, t): the count of "alive"
-            # timestamps strictly after prev.
-            out[t] = tree.prefix(t) - tree.prefix(prev + 1)
-            tree.add(prev, -1)
-        tree.add(t, 1)
+        prev.append(last_seen.get(line, -1))
         last_seen[line] = t
-    return StackDistanceProfile(distances=out)
+    return prev
+
+
+def _fenwick_distances(prev: list[int], n: int) -> np.ndarray:
+    """Stack distances from previous-occurrence indices.
+
+    The tree starts as the closed-form all-ones Fenwick (every timestamp
+    alive); each reuse removes its previous occurrence after querying the
+    count of alive timestamps strictly between the pair. A plain Python
+    list beats an int64 ndarray here: the loop does scalar index
+    arithmetic, where numpy scalar boxing costs more than it saves.
+    """
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+    idx = np.arange(1, n + 1, dtype=np.int64)
+    tree = np.concatenate((np.zeros(1, dtype=np.int64), idx & -idx)).tolist()
+    size = n + 1
+    for t in range(n):
+        p = prev[t]
+        if p < 0:
+            out[t] = -1
+            continue
+        # Distinct lines referenced in (p, t): alive timestamps after p.
+        total = 0
+        i = t
+        while i > 0:
+            total += tree[i]
+            i -= i & -i
+        i = p + 1
+        while i > 0:
+            total -= tree[i]
+            i -= i & -i
+        out[t] = total
+        i = p + 1
+        while i < size:
+            tree[i] -= 1
+            i += i & -i
+    return out
+
+
+def stack_distances(line_trace: Iterable[int] | np.ndarray) -> StackDistanceProfile:
+    """Compute per-reference LRU stack distances for a line-address trace.
+
+    Accepts any iterable of hashable line keys, or a 1-D ndarray of line
+    addresses (the batched fast path — no ``list()`` round-trip, with the
+    previous-occurrence pass fully vectorized).
+    """
+    if isinstance(line_trace, np.ndarray):
+        arr = line_trace
+        if arr.ndim != 1:
+            raise ValueError("line trace array must be 1-D")
+        n = arr.shape[0]
+        prev = _prev_occurrence_vectorized(arr) if n else []
+    else:
+        lines = list(line_trace)
+        n = len(lines)
+        prev = _prev_occurrence_scan(lines)
+    return StackDistanceProfile(distances=_fenwick_distances(prev, n))

@@ -14,24 +14,31 @@ curve predicts at each level's cumulative capacity with the simulator's
 measured ones. The curve-vs-simulator error isolates exactly the
 approximations the analytic engine makes (full associativity, no
 replacement-policy effects).
+
+The harness runs entirely on the batched ndarray pipeline: the zoo's
+``*_array`` generators feed :func:`repro.trace.expand_lines`, the
+hierarchy's :meth:`~repro.memory.hierarchy.Hierarchy.run_array` fast
+path, and the vectorized :func:`~repro.trace.stack_distances` — the same
+numbers as the scalar path (differentially tested), several times faster.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Iterator
+from typing import Callable
+
+import numpy as np
 
 from repro.memory import for_broadwell
 from repro.platforms import MachineSpec, broadwell
 from repro.trace import (
-    Access,
-    pointer_chase,
-    repeated_sweep,
+    expand_lines,
+    pointer_chase_array,
+    repeated_sweep_array,
     stack_distances,
-    strided,
-    tiled_2d,
-    to_line_trace,
-    uniform_random,
+    strided_array,
+    tiled_2d_array,
+    uniform_random_array,
 )
 
 #: Scale factor for fast exact simulation of realistic capacity ratios.
@@ -67,31 +74,31 @@ class ValidationCase:
         return sum(l.abs_error for l in self.levels) / len(self.levels)
 
 
-def workload_zoo() -> dict[str, Callable[[], Iterator[Access]]]:
-    """Canonical patterns the kernels decompose into."""
+def workload_zoo() -> dict[str, Callable[[], tuple[np.ndarray, np.ndarray]]]:
+    """Canonical patterns the kernels decompose into (byte-addr arrays)."""
     return {
-        "sequential-stream": lambda: repeated_sweep(0, 20_000, 1),
-        "repeated-sweep-small": lambda: repeated_sweep(0, 500, 8),
-        "repeated-sweep-l3": lambda: repeated_sweep(0, 6_000, 6),
-        "strided-512B": lambda: strided(0, 8_000, 512),
-        "tiled-matrix": lambda: tiled_2d(0, 96, 96, 16, 16),
-        "uniform-random": lambda: uniform_random(0, 3_000, 15_000, seed=3),
-        "pointer-chase": lambda: pointer_chase(0, 2_000, 8_000, seed=4),
+        "sequential-stream": lambda: repeated_sweep_array(0, 20_000, 1),
+        "repeated-sweep-small": lambda: repeated_sweep_array(0, 500, 8),
+        "repeated-sweep-l3": lambda: repeated_sweep_array(0, 6_000, 6),
+        "strided-512B": lambda: strided_array(0, 8_000, 512),
+        "tiled-matrix": lambda: tiled_2d_array(0, 96, 96, 16, 16),
+        "uniform-random": lambda: uniform_random_array(0, 3_000, 15_000, seed=3),
+        "pointer-chase": lambda: pointer_chase_array(0, 2_000, 8_000, seed=4),
     }
 
 
 def validate_case(
     name: str,
-    accesses: Iterator[Access],
+    workload: tuple[np.ndarray, np.ndarray],
     machine: MachineSpec | None = None,
 ) -> ValidationCase:
     """Run one workload through both paths and collect per-level errors."""
     machine = machine if machine is not None else broadwell()
     hierarchy = for_broadwell(machine, scale=SCALE)
-    trace = list(to_line_trace(accesses))
-    lines = [l for l, _ in trace]
+    addrs, wr = workload
+    lines, line_writes = expand_lines(addrs, 8, wr)
     profile = stack_distances(lines)
-    stats = hierarchy.run(iter(trace))
+    stats = hierarchy.run_array(lines, line_writes)
     total = stats.total_accesses
     errors = []
     cum_capacity = 0

@@ -126,3 +126,75 @@ class TestHierarchyIntegration:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
             for_broadwell(broadwell(), scale=0.001, prefetch="oracle")
+
+
+class TestEvictionRegressions:
+    """Regressions for the dropped-victim and stale-outstanding bugs."""
+
+    def test_displaced_dirty_victim_reaches_sink(self):
+        # One-set cache: 8 lines, 8 ways. Fill it with dirty residents,
+        # then a prefetch fill must displace one and forward it — not
+        # silently drop the dirty line.
+        cache = SetAssociativeCache(64 * 8, line=64, ways=8)
+        for line in range(8):
+            cache.insert(line, dirty=True)
+        pf = NextLinePrefetcher(cache, degree=1)
+        sunk = []
+        pf.on_evict = sunk.append
+        pf.observe(100)  # prefetches 101, displacing the LRU resident
+        assert len(sunk) == 1
+        assert sunk[0].dirty
+        assert sunk[0].line == 0
+
+    def test_displaced_untouched_prefetch_leaves_outstanding(self):
+        cache = SetAssociativeCache(64 * 8, line=64, ways=8)
+        pf = NextLinePrefetcher(cache, degree=1)
+        # Issue 8 prefetches to fill the set, then one more: the ninth
+        # displaces the first (never demanded), which must leave the
+        # outstanding set rather than linger as a phantom pending hit.
+        for line in range(0, 16, 2):
+            pf.observe(line)
+        assert 1 in pf._outstanding
+        pf.observe(16)  # prefetch 17 displaces line 1
+        assert 1 not in pf._outstanding
+
+    def test_line_evicted_prunes_outstanding(self):
+        cache = SetAssociativeCache(64 * 64, line=64, ways=8)
+        pf = NextLinePrefetcher(cache, degree=1)
+        pf.observe(10)
+        assert 11 in pf._outstanding
+        pf.line_evicted(11)
+        assert 11 not in pf._outstanding
+        # A later demand on the evicted prefetch must score as wasted.
+        pf._record_demand(11)
+        assert pf.stats.useful == 0
+
+    def test_outstanding_bounded_by_target_capacity(self):
+        import numpy as np
+
+        h = for_broadwell(broadwell(), scale=0.001, prefetch="next-line")
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 50_000, size=30_000).astype(np.int64)
+        h.run_array(addrs, True)
+        pf = h._prefetcher
+        assert len(pf._outstanding) <= pf.cache.capacity // pf.cache.line
+
+    def test_prefetcher_reset(self):
+        cache = SetAssociativeCache(64 * 64, line=64, ways=8)
+        pf = StridePrefetcher(cache, degree=2, confirm=2)
+        for i in range(20):
+            pf.observe(i * 3)
+        assert pf.stats.issued > 0 and pf._outstanding
+        pf.reset()
+        assert pf.stats.issued == 0 and pf.stats.useful == 0
+        assert not pf._outstanding
+        assert pf._last_addr is None and pf._streak == 0
+
+    def test_hierarchy_reset_clears_prefetcher(self):
+        h = for_broadwell(broadwell(), scale=0.001, prefetch="stride")
+        trace = list(to_line_trace(strided(0, 5_000, 64 * 5)))
+        h.run(iter(trace))
+        assert h._prefetcher.stats.issued > 0
+        h.reset()
+        assert h._prefetcher.stats.issued == 0
+        assert not h._prefetcher._outstanding
