@@ -1,0 +1,8 @@
+"""Standalone entry point: ``python -m repro.audit [paths...]``."""
+
+import sys
+
+from repro.audit.cli import run
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1:]))

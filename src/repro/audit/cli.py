@@ -1,0 +1,126 @@
+"""``repro audit`` — run the invariant checker from the command line.
+
+Exit codes follow the convention the rest of the CLI uses:
+
+* ``0`` — scanned clean (no non-suppressed findings);
+* ``1`` — findings reported;
+* ``2`` — usage error (unknown rule id in ``--select``, missing path).
+
+``--format json`` emits a stable machine-readable document (schema
+version 1) for CI: a ``findings`` list of
+``{rule_id, path, line, message, severity}`` objects plus a ``summary``
+with per-rule counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.audit.engine import default_rules, run_audit
+
+#: JSON output schema version (bump on incompatible change).
+JSON_SCHEMA_VERSION = 1
+
+
+def default_paths() -> list[str]:
+    """Audit the installed package when no paths are given."""
+    import repro
+
+    return [str(Path(repro.__file__).resolve().parent)]
+
+
+def add_audit_parser(sub: argparse._SubParsersAction) -> None:
+    """Register the ``audit`` subcommand on the main CLI parser."""
+    auditp = sub.add_parser(
+        "audit",
+        help=(
+            "statically check repo invariants (determinism, span "
+            "discipline, worker purity, unit safety)"
+        ),
+    )
+    auditp.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to scan (default: the repro package)",
+    )
+    auditp.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="findings as human-readable lines or a JSON document",
+    )
+    auditp.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    auditp.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its description and exit",
+    )
+
+
+def main(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id}  {rule.description}")
+        return 0
+    paths = args.paths or default_paths()
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(
+            "error: no such path(s): " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
+    select = args.select.split(",") if args.select else None
+    try:
+        findings, n_files = run_audit(paths, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.output_format == "json":
+        by_rule: dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule_id] = by_rule.get(finding.rule_id, 0) + 1
+        print(
+            json.dumps(
+                {
+                    "version": JSON_SCHEMA_VERSION,
+                    "findings": [f.as_dict() for f in findings],
+                    "summary": {
+                        "files_scanned": n_files,
+                        "findings": len(findings),
+                        "by_rule": dict(sorted(by_rule.items())),
+                    },
+                },
+                indent=2,
+                sort_keys=False,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(
+            f"audit: {n_files} file(s) scanned, {len(findings)} {noun}",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+def run(argv: Sequence[str] | None = None) -> int:  # pragma: no cover
+    """Standalone entry point (``python -m repro.audit``)."""
+    parser = argparse.ArgumentParser(prog="repro-audit")
+    sub = parser.add_subparsers(dest="command", required=True)
+    add_audit_parser(sub)
+    return main(parser.parse_args(["audit", *(argv or [])]))

@@ -1,0 +1,146 @@
+"""DET rules: simulation code must be bit-deterministic.
+
+The content-addressed result cache (:mod:`repro.runtime.cache`) replays
+a cached table whenever the experiment id + sweep mode + source digest
+match; that is only sound if re-executing the same code yields the same
+bytes. Unseeded randomness and wall-clock reads are the two ways the
+simulation packages could break that contract without any test noticing,
+so both are forbidden statically inside the simulation scope
+(``repro.memory`` / ``repro.trace`` / ``repro.kernels`` /
+``repro.engine``). Orchestration code (scheduler, journal, telemetry)
+legitimately reads clocks and is outside the scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.audit.engine import Finding, Rule, SourceModule
+from repro.audit.resolve import ImportTable, qualified_name
+
+#: Packages whose outputs feed cached, mode-comparable results.
+SIMULATION_SCOPE = (
+    "repro.memory",
+    "repro.trace",
+    "repro.kernels",
+    "repro.engine",
+)
+
+#: numpy.random members that construct explicit generators (fine when
+#: seeded) rather than drawing from the legacy global RNG.
+_NUMPY_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+def _calls(mod: SourceModule) -> Iterator[tuple[ast.Call, str]]:
+    imports = ImportTable(mod.tree, mod.module)
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Call):
+            name = qualified_name(node.func, imports)
+            if name is not None:
+                yield node, name
+
+
+class UnseededRandomRule(Rule):
+    """DET001: no global/unseeded RNG draws in simulation code."""
+
+    rule_id = "DET001"
+    description = (
+        "simulation code must draw randomness from an explicitly seeded "
+        "generator (np.random.default_rng(seed)), never the stdlib "
+        "'random' module or numpy's legacy global RNG"
+    )
+    scope = SIMULATION_SCOPE
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        for node, name in _calls(mod):
+            if name.startswith("random."):
+                tail = name.split(".", 1)[1]
+                if tail not in ("Random", "SystemRandom"):
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"call to stdlib global RNG '{name}' — results "
+                        "depend on interpreter-wide hidden state; use a "
+                        "seeded np.random.default_rng instead",
+                    )
+                else:
+                    # random.Random(seed) is deterministic; bare
+                    # random.Random() / SystemRandom() are not.
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            mod,
+                            node,
+                            f"'{name}()' without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+            elif name.startswith("numpy.random."):
+                tail = name.split(".", 2)[2]
+                if tail not in _NUMPY_CONSTRUCTORS:
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"call to numpy legacy global RNG '{name}' — "
+                        "draws from np.random's hidden global state; use "
+                        "a seeded np.random.default_rng instead",
+                    )
+                elif tail == "default_rng" and not node.args and not node.keywords:
+                    yield self.finding(
+                        mod,
+                        node,
+                        "np.random.default_rng() without a seed is "
+                        "entropy-seeded and nondeterministic; pass an "
+                        "explicit seed",
+                    )
+
+
+class WallClockRule(Rule):
+    """DET002: no wall-clock reads in simulation code."""
+
+    rule_id = "DET002"
+    description = (
+        "simulation code must not read clocks (time.time, time.perf_counter, "
+        "datetime.now, ...); timing belongs to the telemetry layer, and "
+        "simulated time must be derived from the model"
+    )
+    scope = SIMULATION_SCOPE
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        for node, name in _calls(mod):
+            if name in _WALL_CLOCK:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"wall-clock read '{name}' inside simulation code — "
+                    "cached results would embed the clock; route timing "
+                    "through repro.telemetry or pass timestamps in",
+                )

@@ -1,0 +1,84 @@
+"""REG001: experiment modules register the id their filename promises.
+
+DESIGN.md's per-experiment index, the CLI's ``run <id>`` namespace, the
+result cache's task keys, and CI's journal assertions all assume that
+``experiments/fig06_stepping.py`` registers exactly ``fig6``. A driver
+module that registers a different id (or forgets to register) still
+imports cleanly and passes unit tests — the drift only surfaces as a
+"unknown experiment" CLI error or, worse, a cache key pointing at the
+wrong module. This rule pins the mapping statically: filename stem
+``(fig|table|ext|eq)<NN>_*`` must register id ``<prefix><int(NN)>``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.audit.engine import Finding, Rule, SourceModule
+from repro.audit.resolve import ImportTable, qualified_name
+
+_STEM_RE = re.compile(r"^(fig|table|ext|eq)(\d+)_")
+
+
+def expected_id(stem: str) -> str | None:
+    """'fig06_stepping' -> 'fig6'; None for non-driver module names."""
+    m = _STEM_RE.match(stem)
+    if m is None:
+        return None
+    return f"{m.group(1)}{int(m.group(2))}"
+
+
+class RegistryIdRule(Rule):
+    """REG001: registered experiment id must match the filename stem."""
+
+    rule_id = "REG001"
+    description = (
+        "each experiments/(fig|table|ext|eq)NN_*.py module must call "
+        "register('<prefix><NN>', ...) with the id its filename encodes"
+    )
+    scope = ("repro.experiments",)
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        want = expected_id(mod.path.stem)
+        if want is None:
+            return
+        imports = ImportTable(mod.tree, mod.module)
+        registered: list[tuple[ast.Call, str | None]] = []
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = qualified_name(node.func, imports)
+            if name is None or not (
+                name == "register" or name.endswith(".register")
+            ):
+                continue
+            arg = node.args[0] if node.args else None
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                registered.append((node, arg.value))
+            else:
+                registered.append((node, None))
+        if not registered:
+            yield self.finding(
+                mod,
+                mod.tree,
+                f"driver module never registers an experiment; expected "
+                f"register({want!r}, ...)",
+            )
+            return
+        for node, got in registered:
+            if got is None:
+                yield self.finding(
+                    mod,
+                    node,
+                    "experiment id must be a string literal so the "
+                    "filename mapping is statically checkable",
+                )
+            elif got != want:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"registered id {got!r} does not match filename "
+                    f"{mod.path.name!r} (expected {want!r})",
+                )

@@ -1,0 +1,97 @@
+"""Static name resolution shared by the audit rules.
+
+Rules reason about *qualified* names ("numpy.random.rand",
+"os.environ.get", "repro.runtime.faults.apply"), but source code uses
+whatever aliases its imports introduced. :class:`ImportTable` records a
+module's import statements once; :func:`qualified_name` then rewrites a
+``Name``/``Attribute`` chain into the canonical dotted form, so a rule
+matches ``np.random.rand`` and ``numpy.random.rand`` (and
+``from numpy.random import rand``) identically.
+
+This is deliberately flow-insensitive: a rebound alias or a dynamically
+imported module resolves to nothing, and rules treat unresolvable names
+as out of scope rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportTable:
+    """Alias -> canonical dotted prefix for one module's imports."""
+
+    def __init__(self, tree: ast.Module, module: str = "") -> None:
+        self.aliases: dict[str, str] = {}
+        #: Module-level ``NAME = "literal"`` string constants.
+        self.str_constants: dict[str, str] = {}
+        self.module = module
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else name
+                    self.aliases[name] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = f"{base}.{alias.name}"
+        for node in tree.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                self.str_constants[node.targets[0].id] = node.value.value
+
+    def _resolve_from(self, node: ast.ImportFrom) -> str | None:
+        base = node.module or ""
+        if node.level:
+            parts = self.module.split(".") if self.module else []
+            if node.level > len(parts):
+                return None
+            anchor = parts[: len(parts) - node.level]
+            base = ".".join(anchor + ([base] if base else []))
+        return base or None
+
+
+def dotted_chain(node: ast.AST) -> list[str] | None:
+    """["np", "random", "rand"] for ``np.random.rand``; None otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def qualified_name(node: ast.AST, imports: ImportTable) -> str | None:
+    """Canonical dotted name of a Name/Attribute chain, if resolvable."""
+    chain = dotted_chain(node)
+    if chain is None:
+        return None
+    head = imports.aliases.get(chain[0], chain[0])
+    return ".".join([head] + chain[1:])
+
+
+def literal_str(node: ast.AST, imports: ImportTable) -> str | None:
+    """The string a node statically evaluates to, if any.
+
+    Handles string constants and module-level ``NAME = "literal"``
+    references (the idiom env-var keys use).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        return imports.str_constants.get(node.id)
+    return None

@@ -1,0 +1,79 @@
+"""UNIT001: no arithmetic across byte/line/element units.
+
+The simulator constantly converts between three address-space units —
+raw **bytes**, cache **lines** (bytes / line size), and array
+**elements** (bytes / dtype size). The codebase's convention is to
+carry the unit in the identifier (``size_bytes``, ``n_lines``,
+``n_elems``); this rule makes the convention load-bearing: adding,
+subtracting, or comparing two identifiers whose suffixes disagree is
+almost certainly a unit confusion (the exact bug class the paper's
+capacity/footprint analysis would silently absorb).
+
+Multiplication and division are exempt — they *are* the conversions
+(``n_lines * line_bytes``) — and so is any operand produced by a call,
+which is how an explicit conversion looks at a use site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.audit.engine import Finding, Rule, SourceModule
+
+#: Identifier suffix -> unit label.
+UNIT_SUFFIXES = {
+    "_bytes": "bytes",
+    "_lines": "lines",
+    "_elems": "elems",
+}
+
+
+def _unit_of(node: ast.AST) -> tuple[str, str] | None:
+    """(identifier, unit) when the operand names a unit-suffixed value."""
+    if isinstance(node, ast.Name):
+        ident = node.id
+    elif isinstance(node, ast.Attribute):
+        ident = node.attr
+    else:
+        return None
+    for suffix, unit in UNIT_SUFFIXES.items():
+        if ident.endswith(suffix) and ident != suffix:
+            return ident, unit
+    return None
+
+
+class MixedUnitsRule(Rule):
+    """UNIT001: +/-/comparison across different unit suffixes."""
+
+    rule_id = "UNIT001"
+    description = (
+        "adding, subtracting, or comparing identifiers with different "
+        "unit suffixes (_bytes/_lines/_elems) without an explicit "
+        "conversion call mixes address-space units"
+    )
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(mod, node, node.left, node.right)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pair(mod, node, left, right)
+
+    def _check_pair(
+        self, mod: SourceModule, node: ast.AST, left: ast.AST, right: ast.AST
+    ) -> Iterable[Finding]:
+        lu, ru = _unit_of(left), _unit_of(right)
+        if lu is None or ru is None or lu[1] == ru[1]:
+            return
+        yield self.finding(
+            mod,
+            node,
+            f"arithmetic mixes units: '{lu[0]}' is {lu[1]} but "
+            f"'{ru[0]}' is {ru[1]} — convert explicitly "
+            "(e.g. n_lines * line_bytes) before combining",
+        )

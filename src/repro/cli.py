@@ -9,6 +9,7 @@ Usage::
     opm-repro run fig6 --trace run.jsonl
     opm-repro cache stats
     opm-repro profile fig6
+    opm-repro audit src/repro --format json
     python -m repro run table4
 
 Batch runs (``run all``, or any ``run`` with ``--jobs``/``--journal``/
@@ -215,6 +216,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also stream spans + manifests to PATH as JSONL",
     )
+    from repro.audit.cli import add_audit_parser
+
+    add_audit_parser(sub)
     return parser
 
 
@@ -406,6 +410,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "audit":
+        from repro.audit.cli import main as audit_main
+
+        return audit_main(args)
     return _cmd_run(args)
 
 

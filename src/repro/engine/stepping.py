@@ -24,6 +24,7 @@ import numpy as np
 from repro.engine.calibration import DEFAULT_KNOBS, ModelKnobs
 from repro.memory.mcdram import McdramConfig
 from repro.platforms.spec import MachineSpec
+from repro.telemetry import names as tm
 from repro.platforms.tuning import EdramMode, McdramMode
 
 
@@ -78,7 +79,7 @@ def curve(
 
     curve_label = label or _default_label(edram, mcdram)
     with telemetry.span(
-        "stepping.curve", machine=machine.name, label=curve_label
+        tm.SPAN_STEPPING_CURVE, machine=machine.name, label=curve_label
     ) as sp:
         levels = _levels_for(machine, edram=edram, mcdram=mcdram, knobs=knobs)
         if sizes is None:
@@ -92,7 +93,7 @@ def curve(
             ]
         )
         sp.set_attr("points", int(sizes.size))
-        telemetry.counter("engine.stepping.points").inc(int(sizes.size))
+        telemetry.counter(tm.METRIC_STEPPING_POINTS).inc(int(sizes.size))
     return SteppingCurve(
         label=curve_label,
         sizes=sizes,

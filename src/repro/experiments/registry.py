@@ -17,6 +17,7 @@ import importlib
 from typing import Callable, Protocol
 
 from repro.experiments.results import ExperimentResult
+from repro.telemetry import names as tm
 
 
 class ExperimentRunner(Protocol):  # pragma: no cover - typing only
@@ -159,10 +160,10 @@ def run(experiment_id: str, *, quick: bool = True) -> ExperimentResult:
     tracer = telemetry.get_tracer()
     seen_ids = {sp.span_id for sp in tracer.finished()}
     manifest = telemetry.start_manifest(experiment_id, quick=quick)
-    telemetry.counter("experiments.runs").inc()
+    telemetry.counter(tm.METRIC_EXPERIMENT_RUNS).inc()
     status = "ok"
     try:
-        with telemetry.span("experiment", id=experiment_id, quick=quick):
+        with telemetry.span(tm.SPAN_EXPERIMENT, id=experiment_id, quick=quick):
             result = spec.runner(quick=quick)
     except Exception:
         status = "error"

@@ -83,7 +83,7 @@ class DataTable:
         list-based ``max`` keeps the width computation safe for that case.
         """
         widths = [
-            max([len(c)] + [len(_fmt(r[i])) for r in self.rows])
+            max([len(c), *(len(_fmt(r[i])) for r in self.rows)])
             for i, c in enumerate(self.columns)
         ]
         header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))

@@ -19,6 +19,7 @@ from repro.kernels.base import Kernel
 from repro.platforms import MachineSpec, McdramMode, broadwell, knl
 from repro.platforms.tuning import ALL_MCDRAM_MODES
 from repro.sparse import MatrixDescriptor, build_collection
+from repro.telemetry import names as tm
 
 # -- parameter grids (appendix A.2) ------------------------------------------
 
@@ -105,7 +106,7 @@ def run_broadwell_sweep(
     points = []
     for kernel in configs:
         with telemetry.span(
-            "sweep.kernel", kernel=kernel.name, machine=m.name
+            tm.SPAN_SWEEP_KERNEL, kernel=kernel.name, machine=m.name
         ):
             profile = kernel.profile()
             points.append(
@@ -117,7 +118,7 @@ def run_broadwell_sweep(
                     },
                 )
             )
-        telemetry.counter("sweep.points").inc()
+        telemetry.counter(tm.METRIC_SWEEP_POINTS).inc()
     return points
 
 
@@ -141,7 +142,7 @@ def run_knl_sweep(
     points = []
     for kernel in configs:
         with telemetry.span(
-            "sweep.kernel", kernel=kernel.name, machine=m.name
+            tm.SPAN_SWEEP_KERNEL, kernel=kernel.name, machine=m.name
         ):
             profile = kernel.profile()
             points.append(
@@ -155,7 +156,7 @@ def run_knl_sweep(
                     },
                 )
             )
-        telemetry.counter("sweep.points").inc()
+        telemetry.counter(tm.METRIC_SWEEP_POINTS).inc()
     return points
 
 

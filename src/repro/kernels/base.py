@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 from repro import telemetry
 from repro.kernels.profile import WorkloadProfile
+from repro.telemetry import names as tm
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.memory.hierarchy import Hierarchy
@@ -65,13 +66,13 @@ class Kernel(abc.ABC):
         """
         from repro.kernels.traces import kernel_trace
 
-        with telemetry.span("kernel.trace", kernel=self.name, reps=reps) as sp:
+        with telemetry.span(tm.SPAN_KERNEL_TRACE, kernel=self.name, reps=reps) as sp:
             n = 0
             for event in kernel_trace(self, reps=reps):
                 n += 1
                 yield event
             sp.set_attr("events", n)
-            telemetry.counter(f"kernel.{self.name}.trace_events").inc(n)
+            telemetry.counter(tm.kernel_trace_events(self.name)).inc(n)
 
     def simulate(
         self, hierarchy: "Hierarchy", *, reps: int = 1
@@ -83,7 +84,7 @@ class Kernel(abc.ABC):
         """
         from repro.trace.events import to_line_trace
 
-        with telemetry.span("kernel.simulate", kernel=self.name, reps=reps):
+        with telemetry.span(tm.SPAN_KERNEL_SIMULATE, kernel=self.name, reps=reps):
             return hierarchy.run(
                 to_line_trace(self.trace(reps=reps), hierarchy.line)
             )
@@ -99,7 +100,7 @@ class Kernel(abc.ABC):
         """
         from repro.kernels.traces import kernel_trace_chunks
 
-        with telemetry.span("kernel.simulate_batched", kernel=self.name, reps=reps):
+        with telemetry.span(tm.SPAN_KERNEL_SIMULATE_BATCHED, kernel=self.name, reps=reps):
             return hierarchy.run_batched(
                 kernel_trace_chunks(self, reps=reps, line=hierarchy.line)
             )

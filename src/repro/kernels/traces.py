@@ -38,6 +38,7 @@ from repro.kernels.stencil import RADIUS, StencilKernel
 from repro.kernels.stream import StreamKernel
 from repro.platforms.spec import LINE_BYTES
 from repro.sparse.levels import build_levels
+from repro.telemetry import names as tm
 from repro.trace.batch import CHUNK, chunk_accesses, chunk_arrays, expand_lines
 from repro.trace.events import Access
 
@@ -545,13 +546,13 @@ def kernel_trace_chunks(
             # Same span name (and counter) as Kernel.trace: consumers
             # key on the logical phase, not on which path generated it.
             with telemetry.span(
-                "kernel.trace", kernel=kernel.name, reps=reps, batched=True
+                tm.SPAN_KERNEL_TRACE, kernel=kernel.name, reps=reps, batched=True
             ) as sp:
                 addrs, sizes, writes = fn(kernel, reps)
                 la, lw = expand_lines(addrs, sizes, writes, line)
                 n = int(la.size) * reps
                 sp.set_attr("events", n)
-                telemetry.counter(f"kernel.{kernel.name}.trace_events").inc(n)
+                telemetry.counter(tm.kernel_trace_events(kernel.name)).inc(n)
 
             def replay() -> Iterator[tuple[np.ndarray, np.ndarray]]:
                 for _ in range(reps):

@@ -23,6 +23,7 @@ from repro.memory.allocator import Node, NumaAllocator
 from repro.memory.cache import Eviction, SetAssociativeCache
 from repro.memory.mcdram import McdramConfig
 from repro.memory.stats import HierarchyStats, LevelStats
+from repro.telemetry import names as tm
 from repro.memory.victim import VictimCache
 from repro.platforms.spec import MachineSpec
 from repro.platforms.tuning import EdramMode, McdramMode
@@ -113,7 +114,7 @@ class Hierarchy:
 
     def run(self, trace: Iterable[tuple[int, bool]]) -> HierarchyStats:
         """Drive a whole (line_addr, is_write) trace and return the stats."""
-        with telemetry.span("hierarchy.run", line=self.line) as sp:
+        with telemetry.span(tm.SPAN_HIERARCHY_RUN, line=self.line) as sp:
             n = 0
             for line_addr, write in trace:
                 self.access(line_addr, write=write)
@@ -124,7 +125,7 @@ class Hierarchy:
 
     def run_lines(self, lines: Iterable[int], *, write: bool = False) -> HierarchyStats:
         """Drive a read-only (or write-only) line-address stream."""
-        with telemetry.span("hierarchy.run", line=self.line, write=write) as sp:
+        with telemetry.span(tm.SPAN_HIERARCHY_RUN, line=self.line, write=write) as sp:
             n = 0
             for line_addr in lines:
                 self.access(line_addr, write=write)
@@ -153,7 +154,7 @@ class Hierarchy:
         alist, wlist = _coerce_chunk(addrs, writes)
         # Same span name as the scalar run(): consumers key on the
         # logical operation; the attribute says which path produced it.
-        with telemetry.span("hierarchy.run", line=self.line, batched=True) as sp:
+        with telemetry.span(tm.SPAN_HIERARCHY_RUN, line=self.line, batched=True) as sp:
             self._run_chunk(alist, wlist)
             sp.set_attr("refs", len(alist))
         self._publish_telemetry()
@@ -169,7 +170,7 @@ class Hierarchy:
         (``repro.trace.batch``, ``repro.kernels.traces.kernel_trace_chunks``)
         plug in directly; one telemetry span covers the whole batch.
         """
-        with telemetry.span("hierarchy.run", line=self.line, batched=True) as sp:
+        with telemetry.span(tm.SPAN_HIERARCHY_RUN, line=self.line, batched=True) as sp:
             total = 0
             for addrs, writes in chunks:
                 alist, wlist = _coerce_chunk(addrs, writes)
@@ -465,10 +466,10 @@ class Hierarchy:
         if not telemetry.enabled():
             return
         for lvl in self.stats().levels:
-            self._publish_delta(f"memory.{lvl.name}", lvl.name, lvl.counters())
+            self._publish_delta(tm.memory_level_prefix(lvl.name), lvl.name, lvl.counters())
         for stage in self._stages:
             self._publish_delta(
-                f"memory.{stage.name}.cache",
+                tm.memory_cache_prefix(stage.name),
                 f"cache:{stage.name}",
                 stage.cache.telemetry_counters(),
             )

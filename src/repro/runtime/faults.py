@@ -176,7 +176,11 @@ def active_plan() -> FaultPlan:
     The environment-derived plan is cached per spec string so its
     in-process ``*_once`` fallback state survives across calls.
     """
-    global _env_spec, _env_plan
+    # The env-derived plan is intentionally cached in module globals so
+    # *_once fallback state survives across calls inside one worker; the
+    # whole layer is inert unless OPM_REPRO_FAULTS (fingerprint-
+    # allowlisted) is set.
+    global _env_spec, _env_plan  # audit: ignore[PURE001]
     if _installed is not None:
         return _installed
     spec = os.environ.get(ENV_SPEC, "")

@@ -58,6 +58,7 @@ from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 from repro.experiments.results import ExperimentResult
+from repro.telemetry import names as tm
 from repro.runtime import faults
 from repro.runtime.cache import ResultCache
 from repro.runtime.journal import RunJournal
@@ -210,15 +211,15 @@ def run_batch(
     resume_completed = set(resume_completed)
     if journal is not None:
         journal.write_header(ids=list(ids), quick=quick, jobs=jobs)
-    telemetry.gauge("runtime.workers").set(jobs)
+    telemetry.gauge(tm.METRIC_RUNTIME_WORKERS).set(jobs)
 
-    with telemetry.span("batch", n_tasks=len(ids), jobs=jobs, quick=quick):
+    with telemetry.span(tm.SPAN_BATCH, n_tasks=len(ids), jobs=jobs, quick=quick):
         outcomes: dict[str, TaskOutcome] = {}
         to_execute: list[str] = []
         for exp_id in ids:
             if exp_id in resume_completed:
                 outcomes[exp_id] = TaskOutcome(exp_id, "skipped")
-                telemetry.counter("runtime.tasks.resumed").inc()
+                telemetry.counter(tm.METRIC_TASKS_RESUMED).inc()
                 if journal is not None:
                     journal.record(exp_id, "skipped")
                 continue
@@ -227,18 +228,18 @@ def run_batch(
             cached = None
             if cache is not None:
                 key = registry.get(exp_id).task_key(quick=quick)
-                with telemetry.span("cache.lookup", id=exp_id):
+                with telemetry.span(tm.SPAN_CACHE_LOOKUP, id=exp_id):
                     cached = cache.get(key)
             if cached is not None:
                 outcomes[exp_id] = TaskOutcome(
                     exp_id, "done", result=cached, cache_hit=True
                 )
-                telemetry.counter("runtime.cache.hits").inc()
+                telemetry.counter(tm.METRIC_CACHE_HITS).inc()
                 if journal is not None:
                     journal.record(exp_id, "done", cache="hit")
             else:
                 if cache is not None:
-                    telemetry.counter("runtime.cache.misses").inc()
+                    telemetry.counter(tm.METRIC_CACHE_MISSES).inc()
                 to_execute.append(exp_id)
 
         executed = (
@@ -265,8 +266,8 @@ def run_batch(
         for exp_id, outcome in executed.items():
             outcomes[exp_id] = outcome
             if outcome.status == "done":
-                telemetry.counter("runtime.tasks.completed").inc()
-                telemetry.histogram("runtime.task_wall_s").observe(
+                telemetry.counter(tm.METRIC_TASKS_COMPLETED).inc()
+                telemetry.histogram(tm.METRIC_TASK_WALL_S).observe(
                     outcome.duration_s
                 )
                 if cache is not None and outcome.result is not None:
@@ -280,7 +281,7 @@ def run_batch(
             elif outcome.status != "timeout":
                 # timeout events are already counted per occurrence by
                 # the pool loop (runtime.tasks.timeout).
-                telemetry.counter("runtime.tasks.failed").inc()
+                telemetry.counter(tm.METRIC_TASKS_FAILED).inc()
 
     summary = BatchSummary(
         outcomes=[outcomes[exp_id] for exp_id in ids],
@@ -313,7 +314,7 @@ def _run_with_manifest(
     status = "ok"
     start = time.perf_counter()
     try:
-        with telemetry.span("task", id=exp_id, quick=quick):
+        with telemetry.span(tm.SPAN_TASK, id=exp_id, quick=quick):
             result = spec.runner(quick=quick)
     except Exception:
         status = "error"
@@ -413,7 +414,7 @@ def _reap_pool(pool: ProcessPoolExecutor, *, reason: str, n_hung: int) -> None:
     """
     from repro import telemetry
 
-    with telemetry.span("pool.reap", reason=reason, n_hung=n_hung):
+    with telemetry.span(tm.SPAN_POOL_REAP, reason=reason, n_hung=n_hung):
         procs = list((getattr(pool, "_processes", None) or {}).values())
         pool.shutdown(wait=False, cancel_futures=True)
         for proc in procs:
@@ -425,7 +426,7 @@ def _reap_pool(pool: ProcessPoolExecutor, *, reason: str, n_hung: int) -> None:
             if proc.is_alive():  # pragma: no cover - stubborn child
                 proc.kill()
                 proc.join(timeout=1.0)
-    telemetry.counter("runtime.pool.recycled").inc()
+    telemetry.counter(tm.METRIC_POOL_RECYCLED).inc()
 
 
 def _execute_pool(
@@ -474,7 +475,7 @@ def _execute_pool(
         )
 
     def requeue_for_retry(exp_id: str, now: float) -> None:
-        telemetry.counter("runtime.tasks.retried").inc()
+        telemetry.counter(tm.METRIC_TASKS_RETRIED).inc()
         delay = _backoff_delay(attempts[exp_id], backoff, backoff_max)
         waiting.append(_Waiting(exp_id, now + delay, True))
 
@@ -559,7 +560,7 @@ def _execute_pool(
                         # about to fail the same way — recycle instead.
                         recycle_reason = recycle_reason or "broken-pool"
                     with telemetry.span(
-                        "task.wait", id=exp_id, status="failed",
+                        tm.SPAN_TASK_WAIT, id=exp_id, status="failed",
                         wait_s=wait_s,
                     ):
                         pass
@@ -569,7 +570,7 @@ def _execute_pool(
                         resolve(exp_id, "failed", error=error)
                     continue
                 with telemetry.span(
-                    "task.wait", id=exp_id, status="done", wait_s=wait_s
+                    tm.SPAN_TASK_WAIT, id=exp_id, status="done", wait_s=wait_s
                 ):
                     pass
                 resolve(
@@ -605,9 +606,9 @@ def _execute_pool(
                     f"timed out after {elapsed:.2f}s"
                     f" (timeout {timeout}s, attempt {attempt})"
                 )
-                telemetry.counter("runtime.tasks.timeout").inc()
+                telemetry.counter(tm.METRIC_TASKS_TIMEOUT).inc()
                 with telemetry.span(
-                    "task.wait", id=exp_id, status="timeout",
+                    tm.SPAN_TASK_WAIT, id=exp_id, status="timeout",
                     wait_s=elapsed,
                 ):
                     pass

@@ -30,6 +30,7 @@ from __future__ import annotations
 import contextlib
 from typing import Any, Iterator, Mapping
 
+from repro.telemetry import names
 from repro.telemetry.export import JsonlSink, read_jsonl, records_of_type
 from repro.telemetry.manifest import RunManifest, platform_spec_hash
 from repro.telemetry.metrics import (
@@ -59,6 +60,7 @@ __all__ = [
     "get_tracer",
     "histogram",
     "manifests",
+    "names",
     "note_platform",
     "platform_spec_hash",
     "read_jsonl",

@@ -1,0 +1,127 @@
+"""Canonical telemetry span and metric names.
+
+Every span opened and every counter/gauge/histogram published by the
+pipeline takes its name from this module, so the names that
+``report.py``, ``telemetry.summary``, CI assertions, and external trace
+consumers key on cannot silently drift from the names the code emits.
+``repro audit`` rule SPAN001 enforces the contract statically: a span or
+metric opened with a string literal must use one of the names registered
+here (or a prefix produced by one of the helper functions below).
+
+Adding a new span or metric is a two-line change: define the constant
+(or extend a prefix helper) and use it at the call site.
+"""
+
+from __future__ import annotations
+
+# -- spans --------------------------------------------------------------------
+
+#: One scheduler batch (``repro.runtime.scheduler.run_batch``).
+SPAN_BATCH = "batch"
+#: One content-addressed cache probe for a task.
+SPAN_CACHE_LOOKUP = "cache.lookup"
+#: One inline task execution under the scheduler.
+SPAN_TASK = "task"
+#: Resolution of one pooled task (done / failed / timeout).
+SPAN_TASK_WAIT = "task.wait"
+#: Executor recycling after a hung worker or broken pool.
+SPAN_POOL_REAP = "pool.reap"
+#: One experiment driver invocation (``repro.experiments.registry.run``).
+SPAN_EXPERIMENT = "experiment"
+#: One stepping-model curve (``repro.engine.stepping.curve``).
+SPAN_STEPPING_CURVE = "stepping.curve"
+#: Kernel access-trace generation (scalar and batched paths).
+SPAN_KERNEL_TRACE = "kernel.trace"
+#: Scalar kernel simulation (trace + hierarchy walk).
+SPAN_KERNEL_SIMULATE = "kernel.simulate"
+#: Batched (ndarray) kernel simulation.
+SPAN_KERNEL_SIMULATE_BATCHED = "kernel.simulate_batched"
+#: One kernel evaluated inside a Broadwell/KNL sweep.
+SPAN_SWEEP_KERNEL = "sweep.kernel"
+#: One hierarchy trace replay (scalar run/run_lines and batched paths).
+SPAN_HIERARCHY_RUN = "hierarchy.run"
+
+#: Every canonical span name (SPAN001 checks literals against this set).
+SPAN_NAMES = frozenset(
+    {
+        SPAN_BATCH,
+        SPAN_CACHE_LOOKUP,
+        SPAN_TASK,
+        SPAN_TASK_WAIT,
+        SPAN_POOL_REAP,
+        SPAN_EXPERIMENT,
+        SPAN_STEPPING_CURVE,
+        SPAN_KERNEL_TRACE,
+        SPAN_KERNEL_SIMULATE,
+        SPAN_KERNEL_SIMULATE_BATCHED,
+        SPAN_SWEEP_KERNEL,
+        SPAN_HIERARCHY_RUN,
+    }
+)
+
+# -- metrics ------------------------------------------------------------------
+
+#: Gauge: worker processes configured for the current batch.
+METRIC_RUNTIME_WORKERS = "runtime.workers"
+#: Counter: tasks skipped because a resume journal marked them done.
+METRIC_TASKS_RESUMED = "runtime.tasks.resumed"
+#: Counter: result-cache hits during batch scheduling.
+METRIC_CACHE_HITS = "runtime.cache.hits"
+#: Counter: result-cache misses during batch scheduling.
+METRIC_CACHE_MISSES = "runtime.cache.misses"
+#: Counter: tasks that finished with a result.
+METRIC_TASKS_COMPLETED = "runtime.tasks.completed"
+#: Counter: tasks whose final attempt raised.
+METRIC_TASKS_FAILED = "runtime.tasks.failed"
+#: Counter: retry requeues (failures and timeouts with attempts left).
+METRIC_TASKS_RETRIED = "runtime.tasks.retried"
+#: Counter: per-occurrence task deadline expiries.
+METRIC_TASKS_TIMEOUT = "runtime.tasks.timeout"
+#: Counter: executor recycles (hung worker / broken pool).
+METRIC_POOL_RECYCLED = "runtime.pool.recycled"
+#: Histogram: wall seconds per completed task.
+METRIC_TASK_WALL_S = "runtime.task_wall_s"
+#: Counter: points evaluated by the stepping engine.
+METRIC_STEPPING_POINTS = "engine.stepping.points"
+#: Counter: experiment driver invocations through the registry.
+METRIC_EXPERIMENT_RUNS = "experiments.runs"
+#: Counter: sweep points evaluated (Broadwell + KNL sweeps).
+METRIC_SWEEP_POINTS = "sweep.points"
+
+#: Every canonical static metric name.
+METRIC_NAMES = frozenset(
+    {
+        METRIC_RUNTIME_WORKERS,
+        METRIC_TASKS_RESUMED,
+        METRIC_CACHE_HITS,
+        METRIC_CACHE_MISSES,
+        METRIC_TASKS_COMPLETED,
+        METRIC_TASKS_FAILED,
+        METRIC_TASKS_RETRIED,
+        METRIC_TASKS_TIMEOUT,
+        METRIC_POOL_RECYCLED,
+        METRIC_TASK_WALL_S,
+        METRIC_STEPPING_POINTS,
+        METRIC_EXPERIMENT_RUNS,
+        METRIC_SWEEP_POINTS,
+    }
+)
+
+#: Allowed prefixes for dynamically constructed metric names (built by
+#: the helper functions below; SPAN001 accepts literals under these).
+METRIC_PREFIXES = ("kernel.", "memory.")
+
+
+def kernel_trace_events(kernel: str) -> str:
+    """Counter name for one kernel's generated trace events."""
+    return f"kernel.{kernel}.trace_events"
+
+
+def memory_level_prefix(level: str) -> str:
+    """``record_counts`` prefix for one hierarchy level's traffic."""
+    return f"memory.{level}"
+
+
+def memory_cache_prefix(level: str) -> str:
+    """``record_counts`` prefix for one level's internal cache counters."""
+    return f"memory.{level}.cache"
