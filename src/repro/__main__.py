@@ -4,4 +4,9 @@ import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # `python -m repro trace tree run.jsonl | head` closes stdout early;
+    # exit with SIGPIPE's conventional status instead of a traceback.
+    sys.exit(141)

@@ -9,6 +9,10 @@ Usage::
     opm-repro run fig6 --trace run.jsonl
     opm-repro cache stats
     opm-repro profile fig6
+    opm-repro trace tree run.jsonl
+    opm-repro trace critical-path run.jsonl
+    opm-repro trace top run.jsonl --format json
+    opm-repro trace flame run.jsonl -o run.folded
     opm-repro audit src/repro --format json
     python -m repro run table4
 
@@ -216,6 +220,59 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also stream spans + manifests to PATH as JSONL",
     )
+    profilep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "profile through the parallel scheduler with N worker "
+            "processes; worker-side spans merge into the breakdown"
+        ),
+    )
+    tracep = sub.add_parser(
+        "trace",
+        help="analyze a JSONL trace file written by --trace",
+    )
+    trace_sub = tracep.add_subparsers(dest="trace_command", required=True)
+    treep = trace_sub.add_parser(
+        "tree", help="print the span forest as an indented waterfall"
+    )
+    treep.add_argument("path", help="JSONL trace file")
+    treep.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="truncate the tree below depth N (root = 0)",
+    )
+    cpathp = trace_sub.add_parser(
+        "critical-path",
+        help="longest parent-to-child chain under the batch root",
+    )
+    cpathp.add_argument("path", help="JSONL trace file")
+    cpathp.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    topp = trace_sub.add_parser(
+        "top", help="per-span-name count/total/p50/p99 table"
+    )
+    topp.add_argument("path", help="JSONL trace file")
+    topp.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    flamep = trace_sub.add_parser(
+        "flame",
+        help="folded stacks (self-time in µs) for flamegraph tooling",
+    )
+    flamep.add_argument("path", help="JSONL trace file")
+    flamep.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write folded stacks to PATH instead of stdout",
+    )
     from repro.audit.cli import add_audit_parser
 
     add_audit_parser(sub)
@@ -342,8 +399,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.telemetry.summary import render_profile
 
     with telemetry.session(trace_path=args.trace, attach_summary=False):
-        for exp_id in ids:
-            run_experiment(exp_id, quick=not args.full)
+        if args.jobs > 1:
+            # The scheduler path merges worker-side spans back into this
+            # process's tracer, so the breakdown below covers them too.
+            # Cache disabled: a cache hit would profile deserialization.
+            from repro.runtime import run_batch
+
+            run_batch(ids, quick=not args.full, jobs=args.jobs, cache=None)
+        else:
+            for exp_id in ids:
+                run_experiment(exp_id, quick=not args.full)
         print(f"== profile: {', '.join(ids)} ==")
         print()
         print(
@@ -366,6 +431,54 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             )
     if args.trace:
         print(f"wrote trace {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import analyze
+
+    try:
+        trace = analyze.load_trace(args.path)
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    json_format = getattr(args, "format", "text") == "json"
+    if trace.n_skipped_lines and not json_format:
+        # JSON outputs carry the count in-band as n_skipped_lines.
+        print(
+            f"note: skipped {trace.n_skipped_lines} undecodable line(s) "
+            f"in {args.path} (truncated write?)",
+            file=sys.stderr,
+        )
+    if args.trace_command == "tree":
+        print(analyze.render_tree(trace, max_depth=args.max_depth))
+        return 0
+    if args.trace_command == "critical-path":
+        steps = analyze.critical_path(trace)
+        if json_format:
+            print(analyze.critical_path_as_json(trace, steps))
+        else:
+            print(analyze.render_critical_path(steps))
+        return 0
+    if args.trace_command == "top":
+        rows = analyze.aggregate_spans(trace)
+        if json_format:
+            print(analyze.top_as_json(trace, rows))
+        else:
+            print(analyze.render_top(rows))
+        return 0
+    lines = analyze.fold_stacks(trace)
+    text = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(text + "\n" if text else "")
+        print(
+            f"wrote {len(lines)} folded stack(s) to {args.output}",
+            file=sys.stderr,
+        )
+    elif text:
+        print(text)
+    else:
+        print("(no spans in trace)")
     return 0
 
 
@@ -410,6 +523,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cache(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "audit":
         from repro.audit.cli import main as audit_main
 
@@ -418,4 +533,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `repro trace tree run.jsonl | head` closes stdout early;
+        # exit with SIGPIPE's conventional status instead of a traceback.
+        sys.exit(141)

@@ -27,14 +27,24 @@ Every computed result is normalized through the ``as_dict``/``from_dict``
 round-trip before it is rendered or cached, so serial runs, parallel
 runs, and cache hits all print byte-identical tables.
 
-With telemetry enabled the scheduler opens a ``batch`` span with one
-``task`` (inline) or ``task.wait`` (pool) child per executed experiment
-and ``pool.reap`` spans around executor recycling, keeps a run manifest
-per inline-executed task, and publishes ``runtime.cache.hits`` /
-``runtime.cache.misses`` / ``runtime.tasks.*`` (including
-``runtime.tasks.timeout``) / ``runtime.pool.recycled`` counters plus a
-``runtime.task_wall_s`` histogram and a ``runtime.workers`` gauge — the
-numbers behind the batch summary section in reports.
+With telemetry enabled the scheduler opens a ``batch`` span (tagged
+with a fresh ``trace_id``) with one ``task`` child per executed
+experiment — inline *and* pool: pool submissions open a
+manual-lifecycle ``task`` span at submission and pass the worker a
+:class:`~repro.telemetry.collect.TraceContext`, so the worker's own
+spans (``experiment``, ``kernel.*``, ``hierarchy.run``, ...) come back
+inside the result envelope and are merged under that ``task`` span with
+ids remapped and clocks rebased (see :mod:`repro.telemetry.collect`).
+``task.wait`` resolution markers and ``pool.reap`` spans around
+executor recycling complete the picture. The scheduler publishes
+``runtime.cache.hits`` / ``runtime.cache.misses`` / ``runtime.tasks.*``
+(including ``runtime.tasks.timeout``) / ``runtime.pool.recycled`` /
+``runtime.telemetry.spans_merged`` / ``runtime.telemetry.dropped``
+counters plus a ``runtime.task_wall_s`` histogram and a
+``runtime.workers`` gauge — the numbers behind the batch summary
+section in reports. Worker metric deltas fold into the same registry,
+so parallel profiles account worker time instead of silently
+under-counting it.
 
 Deterministic fault injection for all of these paths lives in
 :mod:`repro.runtime.faults`.
@@ -58,7 +68,8 @@ from pathlib import Path
 from typing import Any, Iterable, Sequence
 
 from repro.experiments.results import ExperimentResult
-from repro.telemetry import names as tm
+from repro.telemetry import collect, names as tm
+from repro.telemetry.spans import Span
 from repro.runtime import faults
 from repro.runtime.cache import ResultCache
 from repro.runtime.journal import RunJournal
@@ -152,18 +163,33 @@ def _worker_init(package_parent: str) -> None:  # pragma: no cover - child
         sys.path.insert(0, package_parent)
 
 
-def _worker_run(experiment_id: str, quick: bool) -> dict[str, Any]:
-    """Executed in a worker process; returns a picklable payload."""
+def _worker_run(
+    experiment_id: str,
+    quick: bool,
+    ctx: "collect.TraceContext | None" = None,
+) -> dict[str, Any]:
+    """Executed in a worker process; returns a picklable payload.
+
+    With a :class:`~repro.telemetry.collect.TraceContext`, the task runs
+    under a process-local tracer/metrics registry whose spans (rooted at
+    an ``experiment`` span) and metric deltas ship home inside this
+    envelope for the parent to merge under its ``task`` span.
+    """
+    from repro import telemetry
     from repro.experiments import registry
 
     faults.apply(experiment_id)
     spec = registry.get(experiment_id)
-    start = time.perf_counter()
-    result = spec.runner(quick=quick)
+    with collect.worker_collection(ctx) as shipment:
+        start = time.perf_counter()
+        with telemetry.span(tm.SPAN_EXPERIMENT, id=experiment_id, quick=quick):
+            result = spec.runner(quick=quick)
+        duration_s = time.perf_counter() - start
     return {
         "experiment_id": experiment_id,
-        "duration_s": time.perf_counter() - start,
+        "duration_s": duration_s,
         "result": result.as_dict(),
+        "telemetry": shipment.export(),
     }
 
 
@@ -212,8 +238,12 @@ def run_batch(
     if journal is not None:
         journal.write_header(ids=list(ids), quick=quick, jobs=jobs)
     telemetry.gauge(tm.METRIC_RUNTIME_WORKERS).set(jobs)
+    trace_id = collect.new_trace_id()
 
-    with telemetry.span(tm.SPAN_BATCH, n_tasks=len(ids), jobs=jobs, quick=quick):
+    with telemetry.span(
+        tm.SPAN_BATCH, n_tasks=len(ids), jobs=jobs, quick=quick,
+        trace_id=trace_id,
+    ):
         outcomes: dict[str, TaskOutcome] = {}
         to_execute: list[str] = []
         for exp_id in ids:
@@ -261,6 +291,7 @@ def run_batch(
                 retries=retries,
                 backoff=backoff,
                 backoff_max=backoff_max,
+                trace_id=trace_id,
             )
         )
         for exp_id, outcome in executed.items():
@@ -314,8 +345,12 @@ def _run_with_manifest(
     status = "ok"
     start = time.perf_counter()
     try:
+        # Same span vocabulary as the pool path: a `task` wrapper with an
+        # `experiment` root for the driver's own spans, so serial and
+        # parallel traces differ only in scheduler plumbing.
         with telemetry.span(tm.SPAN_TASK, id=exp_id, quick=quick):
-            result = spec.runner(quick=quick)
+            with telemetry.span(tm.SPAN_EXPERIMENT, id=exp_id, quick=quick):
+                result = spec.runner(quick=quick)
     except Exception:
         status = "error"
         raise
@@ -385,6 +420,7 @@ class _InFlight:
     experiment_id: str
     submitted_at: float  # time.monotonic() at submission
     deadline: float | None  # submitted_at + timeout, None = no timeout
+    span: Span | None = None  # open `task` span (None when telemetry off)
 
 
 @dataclasses.dataclass
@@ -439,6 +475,7 @@ def _execute_pool(
     retries: int,
     backoff: float = 0.0,
     backoff_max: float = DEFAULT_BACKOFF_MAX_S,
+    trace_id: str = "",
 ) -> dict[str, TaskOutcome]:
     """Deadline-driven pool execution.
 
@@ -489,6 +526,7 @@ def _execute_pool(
             if recycle_reason is not None:
                 for future, flight in running.items():
                     future.cancel()
+                    collect.close_task_span(flight.span, status="requeued")
                     waiting.append(
                         _Waiting(flight.experiment_id, now, False)
                     )
@@ -511,13 +549,26 @@ def _execute_pool(
                         "running",
                         attempt=attempts[item.experiment_id],
                     )
+                task_span = collect.open_task_span(
+                    item.experiment_id,
+                    quick=quick,
+                    attempt=attempts[item.experiment_id],
+                )
+                ctx = collect.current_context(
+                    item.experiment_id,
+                    trace_id=trace_id,
+                    parent_span_id=(
+                        task_span.span_id if task_span is not None else None
+                    ),
+                )
                 future = pool.submit(
-                    _worker_run, item.experiment_id, quick
+                    _worker_run, item.experiment_id, quick, ctx
                 )
                 running[future] = _InFlight(
                     experiment_id=item.experiment_id,
                     submitted_at=now,
                     deadline=None if timeout is None else now + timeout,
+                    span=task_span,
                 )
 
             if not running:
@@ -564,6 +615,7 @@ def _execute_pool(
                         wait_s=wait_s,
                     ):
                         pass
+                    collect.close_task_span(flight.span, status="failed")
                     if attempt <= retries:
                         requeue_for_retry(exp_id, now)
                     else:
@@ -573,6 +625,13 @@ def _execute_pool(
                     tm.SPAN_TASK_WAIT, id=exp_id, status="done", wait_s=wait_s
                 ):
                     pass
+                # Merge the worker's shipped spans/metrics under the task
+                # span *before* closing it, so the sink streams children
+                # ahead of their parent (same order a with-block yields).
+                collect.absorb(
+                    payload.get("telemetry"), task_span=flight.span
+                )
+                collect.close_task_span(flight.span, status="done")
                 resolve(
                     exp_id,
                     "done",
@@ -612,6 +671,7 @@ def _execute_pool(
                     wait_s=elapsed,
                 ):
                     pass
+                collect.close_task_span(flight.span, status="timeout")
                 if journal is not None:
                     journal.record(
                         exp_id, "timeout", attempt=attempt, error=error,

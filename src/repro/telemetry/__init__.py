@@ -31,7 +31,7 @@ import contextlib
 from typing import Any, Iterator, Mapping
 
 from repro.telemetry import names
-from repro.telemetry.export import JsonlSink, read_jsonl, records_of_type
+from repro.telemetry.export import JsonlSink, read_jsonl, records_of_type, scan_jsonl
 from repro.telemetry.manifest import RunManifest, platform_spec_hash
 from repro.telemetry.metrics import (
     NOOP_METRIC,
@@ -67,6 +67,7 @@ __all__ = [
     "record_counts",
     "records_of_type",
     "reset",
+    "scan_jsonl",
     "session",
     "span",
     "traced",
@@ -84,8 +85,36 @@ class _State:
         self.sink: JsonlSink | None = None
         self.manifests: list[RunManifest] = []
 
+    def adopt(
+        self, *, enabled: bool, tracer: Tracer, registry: MetricsRegistry
+    ) -> tuple:
+        """Swap in process-local tracer/registry; returns the prior state.
+
+        Used by :mod:`repro.telemetry.collect` when a pool worker starts
+        a task: the worker must not inherit the parent's ring buffer or
+        (under fork) its open JSONL sink — spans travel home inside the
+        task result envelope instead. The swap is plain attribute
+        rebinding on this one object, so worker-purity holds: nothing at
+        module level is reassigned.
+        """
+        prev = (self.enabled, self.tracer, self.registry, self.sink)
+        self.enabled = enabled
+        self.tracer = tracer
+        self.registry = registry
+        self.sink = None
+        return prev
+
+    def restore(self, prev: tuple) -> None:
+        """Undo :meth:`adopt` (worker task finished or died trying)."""
+        self.enabled, self.tracer, self.registry, self.sink = prev
+
 
 _STATE = _State()
+
+
+def _state() -> _State:
+    """The live process-wide state (internal; for the collect module)."""
+    return _STATE
 
 
 # -- configuration -----------------------------------------------------------

@@ -1,0 +1,367 @@
+"""Trace-analysis toolkit: mine a JSONL span trace offline.
+
+The JSONL sink (:mod:`repro.telemetry.export`) streams spans in close
+order; this module rebuilds the forest and answers the questions the
+paper's methodology keeps asking of hardware — *where did the time go*
+— about the pipeline itself:
+
+* :func:`render_tree` — indented waterfall of every span with start
+  offsets, durations, and attributes;
+* :func:`critical_path` — the longest parent→child chain under a root,
+  the direct lever for shaving batch wall time;
+* :func:`aggregate_spans` — per-name count / total / p50 / p99, the
+  shape CI assertions and SLO gates consume;
+* :func:`fold_stacks` — folded-stack lines (``a;b;c <µs>``) consumable
+  by standard flamegraph tooling.
+
+Traces may contain several runs appended to one file (the sink opens in
+append mode); span ids restart per process, so the loader splits the
+record stream into *generations* whenever an id repeats and roots each
+generation independently. Undecodable lines (a worker or parent killed
+mid-write) are counted, not fatal — ``repro trace`` surfaces the count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from repro.telemetry.export import scan_jsonl
+
+
+@dataclasses.dataclass
+class SpanNode:
+    """One span rebuilt from the trace file, linked into its tree."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    attrs: dict[str, Any]
+    start_s: float
+    duration_s: float
+    children: list["SpanNode"] = dataclasses.field(default_factory=list)
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    @property
+    def self_s(self) -> float:
+        """Duration minus direct children's durations (clamped at 0)."""
+        return max(
+            0.0, self.duration_s - sum(c.duration_s for c in self.children)
+        )
+
+
+@dataclasses.dataclass
+class TraceFile:
+    """Parsed trace: the span forest plus file-health bookkeeping."""
+
+    path: str
+    spans: list[SpanNode]
+    roots: list[SpanNode]
+    n_records: int
+    n_manifests: int
+    n_skipped_lines: int
+
+
+def load_trace(path: str | Path) -> TraceFile:
+    """Parse a JSONL trace into a rooted forest.
+
+    Records stream in close order (children before parents), so linking
+    happens after all of a generation's nodes exist. A repeated span id
+    starts a new generation: ids are monotone within one process, so a
+    repeat can only mean another run appended to the same file.
+    """
+    records, n_skipped = scan_jsonl(path)
+    n_manifests = sum(1 for r in records if r.get("type") == "manifest")
+    generations: list[dict[int, SpanNode]] = []
+    current: dict[int, SpanNode] = {}
+    for rec in records:
+        if rec.get("type") != "span":
+            continue
+        sid = rec["span_id"]
+        if sid in current:
+            generations.append(current)
+            current = {}
+        current[sid] = SpanNode(
+            span_id=sid,
+            parent_id=rec.get("parent_id"),
+            name=rec.get("name", "?"),
+            attrs=dict(rec.get("attrs") or {}),
+            start_s=float(rec.get("start_s", 0.0)),
+            duration_s=float(rec.get("duration_s", 0.0)),
+        )
+    if current:
+        generations.append(current)
+
+    spans: list[SpanNode] = []
+    roots: list[SpanNode] = []
+    for generation in generations:
+        for node in generation.values():
+            spans.append(node)
+            parent = (
+                generation.get(node.parent_id)
+                if node.parent_id is not None
+                else None
+            )
+            if parent is None:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in generation.values():
+            node.children.sort(key=lambda c: (c.start_s, c.span_id))
+    roots.sort(key=lambda r: (r.start_s, r.span_id))
+    return TraceFile(
+        path=str(path),
+        spans=spans,
+        roots=roots,
+        n_records=len(records),
+        n_manifests=n_manifests,
+        n_skipped_lines=n_skipped,
+    )
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _fmt_attrs(attrs: dict[str, Any], *, limit: int = 60) -> str:
+    parts = [f"{k}={v}" for k, v in sorted(attrs.items())]
+    text = " ".join(parts)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+# -- tree ---------------------------------------------------------------------
+
+
+def render_tree(trace: TraceFile, *, max_depth: int | None = None) -> str:
+    """Indented waterfall: offset from root, duration, name, attrs."""
+    if not trace.spans:
+        return "(no spans in trace)"
+    lines: list[str] = []
+    for root in trace.roots:
+        for node, depth in _walk(root, max_depth):
+            offset_s = node.start_s - root.start_s
+            lines.append(
+                f"{'+' + _fmt_duration(offset_s):>10}  "
+                f"{_fmt_duration(node.duration_s):>9}  "
+                f"{'  ' * depth}{node.name}"
+                + (f"  [{_fmt_attrs(node.attrs)}]" if node.attrs else "")
+            )
+    return "\n".join(lines)
+
+
+def _walk(
+    node: SpanNode, max_depth: int | None, depth: int = 0
+) -> Iterator[tuple[SpanNode, int]]:
+    yield node, depth
+    if max_depth is not None and depth >= max_depth:
+        return
+    for child in node.children:
+        yield from _walk(child, max_depth, depth + 1)
+
+
+# -- critical path ------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class PathStep:
+    """One hop of a critical path with its own on-path contribution."""
+
+    node: SpanNode
+    self_on_path_s: float  # duration minus the on-path child's duration
+
+
+def critical_path(trace: TraceFile, root: SpanNode | None = None) -> list[PathStep]:
+    """Longest parent→child chain under ``root`` (default: longest root).
+
+    From the root, repeatedly descend into the child that *finishes
+    last* — the child gating the parent's close. Each step reports how
+    much of its duration is its own (not covered by the next hop), i.e.
+    where shaving time actually shortens the batch.
+    """
+    if root is None:
+        batches = [r for r in trace.roots if r.name == "batch"]
+        candidates = batches or trace.roots
+        if not candidates:
+            return []
+        root = max(candidates, key=lambda r: r.duration_s)
+    steps: list[PathStep] = []
+    node = root
+    while True:
+        if not node.children:
+            steps.append(PathStep(node, node.duration_s))
+            break
+        gating = max(node.children, key=lambda c: (c.end_s, c.duration_s))
+        steps.append(
+            PathStep(node, max(0.0, node.duration_s - gating.duration_s))
+        )
+        node = gating
+    return steps
+
+
+def render_critical_path(steps: Sequence[PathStep]) -> str:
+    if not steps:
+        return "(no spans in trace)"
+    total_s = steps[0].node.duration_s or 1.0
+    lines = [
+        f"critical path: {len(steps)} span(s), "
+        f"{_fmt_duration(steps[0].node.duration_s)} end to end"
+    ]
+    for depth, step in enumerate(steps):
+        share = step.self_on_path_s / total_s
+        lines.append(
+            f"{_fmt_duration(step.node.duration_s):>9}  "
+            f"{_fmt_duration(step.self_on_path_s):>9} self ({share:>5.1%})  "
+            f"{'  ' * depth}{step.node.name}"
+            + (
+                f"  [{_fmt_attrs(step.node.attrs)}]"
+                if step.node.attrs
+                else ""
+            )
+        )
+    return "\n".join(lines)
+
+
+# -- per-name aggregation -----------------------------------------------------
+
+
+@dataclasses.dataclass
+class AggRow:
+    """Aggregated durations for all spans sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    p50_s: float
+    p99_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over an ascending sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values), max(1, math.ceil(q * len(sorted_values))))
+    return sorted_values[rank - 1]
+
+
+def aggregate_spans(trace: TraceFile) -> list[AggRow]:
+    """Per-name count/total/p50/p99/max, ordered by total wall time."""
+    by_name: dict[str, list[float]] = {}
+    for node in trace.spans:
+        by_name.setdefault(node.name, []).append(node.duration_s)
+    rows = []
+    for name, durations in by_name.items():
+        durations.sort()
+        rows.append(
+            AggRow(
+                name=name,
+                count=len(durations),
+                total_s=sum(durations),
+                p50_s=_percentile(durations, 0.50),
+                p99_s=_percentile(durations, 0.99),
+                max_s=durations[-1],
+            )
+        )
+    return sorted(rows, key=lambda r: r.total_s, reverse=True)
+
+
+def render_top(rows: Sequence[AggRow]) -> str:
+    if not rows:
+        return "(no spans in trace)"
+    name_w = max(len(r.name) for r in rows)
+    lines = [
+        f"{'span':<{name_w}}  {'count':>6}  {'total':>9}  {'mean':>9}  "
+        f"{'p50':>9}  {'p99':>9}  {'max':>9}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.name:<{name_w}}  {r.count:>6}  "
+            f"{_fmt_duration(r.total_s):>9}  {_fmt_duration(r.mean_s):>9}  "
+            f"{_fmt_duration(r.p50_s):>9}  {_fmt_duration(r.p99_s):>9}  "
+            f"{_fmt_duration(r.max_s):>9}"
+        )
+    return "\n".join(lines)
+
+
+def top_as_json(trace: TraceFile, rows: Sequence[AggRow]) -> str:
+    payload = {
+        "path": trace.path,
+        "n_spans": len(trace.spans),
+        "n_skipped_lines": trace.n_skipped_lines,
+        "rows": [
+            {
+                "name": r.name,
+                "count": r.count,
+                "total_s": r.total_s,
+                "mean_s": r.mean_s,
+                "p50_s": r.p50_s,
+                "p99_s": r.p99_s,
+                "max_s": r.max_s,
+            }
+            for r in rows
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def critical_path_as_json(
+    trace: TraceFile, steps: Sequence[PathStep]
+) -> str:
+    payload = {
+        "path": trace.path,
+        "n_skipped_lines": trace.n_skipped_lines,
+        "steps": [
+            {
+                "name": s.node.name,
+                "attrs": s.node.attrs,
+                "duration_s": s.node.duration_s,
+                "self_on_path_s": s.self_on_path_s,
+            }
+            for s in steps
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+# -- flame graphs -------------------------------------------------------------
+
+
+def fold_stacks(trace: TraceFile) -> list[str]:
+    """Folded-stack lines (``root;child;leaf <self-µs>``) per stack.
+
+    The value is *self* time in integer microseconds, the convention
+    flamegraph.pl / speedscope / inferno all consume; identical stacks
+    aggregate.
+    """
+    folded: dict[str, int] = {}
+    for root in trace.roots:
+        _fold(root, (), folded)
+    return [
+        f"{stack} {value}"
+        for stack, value in sorted(folded.items())
+        if value > 0
+    ]
+
+
+def _fold(
+    node: SpanNode, prefix: tuple[str, ...], folded: dict[str, int]
+) -> None:
+    stack = (*prefix, node.name)
+    key = ";".join(stack)
+    folded[key] = folded.get(key, 0) + int(round(node.self_s * 1e6))
+    for child in node.children:
+        _fold(child, stack, folded)

@@ -1,0 +1,220 @@
+"""Cross-process trace propagation and worker telemetry collection.
+
+``run all --jobs N`` forks tasks into pool workers; without help, every
+span and counter a worker records dies with its process and the batch
+trace is a scheduler skeleton with no organs. This module is the
+courier between the two processes:
+
+* **Parent, at submission** — :func:`open_task_span` opens a real
+  ``task`` span (manual lifecycle, off the nesting stack) and
+  :func:`current_context` packs a :class:`TraceContext` (trace id,
+  parent span id, span budget) into the task's arguments.
+* **Worker, around the task** — :func:`worker_collection` swaps in a
+  fresh process-local tracer and metrics registry (so nothing inherited
+  from the parent — in particular a fork-shared JSONL sink — is
+  touched), bounded by the context's span budget, and exports the
+  finished spans + metrics snapshot for the (already-serialized) result
+  envelope.
+* **Parent, at resolution** — :func:`absorb` remaps worker span ids
+  onto the parent tracer's id space, reparents worker roots under the
+  task span, rebases worker timestamps onto the parent clock, merges
+  the metric deltas (``Counter``/``Gauge``/``Histogram.merge``), and
+  accounts budget overflow in ``runtime.telemetry.dropped``.
+
+Clock rebasing: ``time.perf_counter`` epochs are per-process, so worker
+timestamps are shipped relative to a ``clock_origin_s`` captured at
+task start and re-anchored at the parent task span's ``start_s``. The
+offset between "task submitted" and "worker began" (pickle + queue
+latency) is therefore folded into the anchor — sub-millisecond in
+practice, and irrelevant to durations, which ship verbatim.
+
+Failure semantics: a worker that raises or is reaped ships nothing (the
+envelope never returns), so its spans are lost — by design; the
+parent's ``task`` span still records the attempt with its status.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+import uuid
+from typing import Any, Iterator
+
+from repro import telemetry
+from repro.telemetry import names as tm
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Span, Tracer
+
+#: Finished spans one task may ship home; the overflow (oldest first)
+#: is counted into ``runtime.telemetry.dropped`` so a pathological task
+#: cannot balloon the parent's ring buffer or trace file.
+DEFAULT_SPAN_BUDGET = 2048
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """What a worker needs to parent its spans under the batch trace."""
+
+    trace_id: str
+    experiment_id: str
+    parent_span_id: int | None
+    span_budget: int = DEFAULT_SPAN_BUDGET
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "TraceContext":
+        return cls(**payload)
+
+
+def new_trace_id() -> str:
+    """Fresh id tying one batch's spans together across processes."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_context(
+    experiment_id: str,
+    *,
+    trace_id: str,
+    parent_span_id: int | None,
+    span_budget: int = DEFAULT_SPAN_BUDGET,
+) -> TraceContext | None:
+    """Context to ship with one task (None when telemetry is off)."""
+    if not telemetry.enabled():
+        return None
+    return TraceContext(
+        trace_id=trace_id,
+        experiment_id=experiment_id,
+        parent_span_id=parent_span_id,
+        span_budget=span_budget,
+    )
+
+
+# -- parent side: task spans --------------------------------------------------
+
+
+def open_task_span(
+    experiment_id: str, *, quick: bool, attempt: int
+) -> Span | None:
+    """Open the scheduler-side ``task`` span for one pool submission.
+
+    Manual lifecycle (:meth:`Tracer.begin`): the span opens when the
+    task reaches a worker and closes attempts later at resolution,
+    possibly interleaved with other tasks on the scheduler thread — a
+    ``with`` block cannot express that. Parented under the innermost
+    open span (the ``batch`` span during pool execution).
+    """
+    if not telemetry.enabled():
+        return None
+    tracer = telemetry.get_tracer()
+    current = tracer.current()
+    return tracer.begin(
+        tm.SPAN_TASK,
+        parent_id=current.span_id if current is not None else None,
+        id=experiment_id,
+        quick=quick,
+        attempt=attempt,
+    )
+
+
+def close_task_span(span: Span | None, *, status: str) -> None:
+    """Record a task span's terminal status and close it."""
+    if span is None:
+        return
+    span.set_attr("status", status)
+    telemetry.get_tracer().finish(span)
+
+
+# -- worker side --------------------------------------------------------------
+
+
+class WorkerShipment:
+    """Carrier the worker fills as its collection scope closes."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self) -> None:
+        self.payload: dict[str, Any] | None = None
+
+    def export(self) -> dict[str, Any] | None:
+        """The envelope-ready telemetry payload (None when off)."""
+        return self.payload
+
+
+@contextlib.contextmanager
+def worker_collection(ctx: TraceContext | None) -> Iterator[WorkerShipment]:
+    """Collect one task's telemetry into a shippable payload.
+
+    Installs a fresh tracer (ring capacity = the context's span budget)
+    and metrics registry for the duration of the task, then restores
+    whatever was there before. With ``ctx=None`` (telemetry off in the
+    parent) this is a no-op scope and the shipment stays empty.
+    """
+    carrier = WorkerShipment()
+    if ctx is None:
+        yield carrier
+        return
+    state = telemetry._state()
+    tracer = Tracer(capacity=ctx.span_budget)
+    registry = MetricsRegistry()
+    clock_origin_s = time.perf_counter()
+    prev = state.adopt(enabled=True, tracer=tracer, registry=registry)
+    try:
+        yield carrier
+    finally:
+        state.restore(prev)
+        carrier.payload = {
+            "trace_id": ctx.trace_id,
+            "experiment_id": ctx.experiment_id,
+            "clock_origin_s": clock_origin_s,
+            "spans": [sp.as_dict() for sp in tracer.finished()],
+            "n_dropped": tracer.n_dropped,
+            "metrics": registry.snapshot(),
+        }
+
+
+# -- parent side: merging -----------------------------------------------------
+
+
+def absorb(shipment: dict[str, Any] | None, *, task_span: Span | None) -> int:
+    """Merge one worker's shipped telemetry; returns spans merged.
+
+    Worker span ids are remapped onto this tracer's id space (internal
+    parent/child links preserved); roots — and children whose parent
+    fell to the span budget — re-parent under ``task_span``. Worker
+    timestamps rebase so each span keeps its offset from task start on
+    the parent's clock. Metric deltas fold into the live registry, and
+    budget overflow increments ``runtime.telemetry.dropped``.
+    """
+    if shipment is None or not telemetry.enabled():
+        return 0
+    tracer = telemetry.get_tracer()
+    records = shipment.get("spans") or ()
+    root_parent = task_span.span_id if task_span is not None else None
+    origin_s = shipment.get("clock_origin_s", 0.0)
+    anchor_s = task_span.start_s if task_span is not None else origin_s
+    id_map = {rec["span_id"]: tracer.allocate_id() for rec in records}
+    merged = 0
+    for rec in records:
+        start_s = anchor_s + (rec["start_s"] - origin_s)
+        sp = Span(
+            span_id=id_map[rec["span_id"]],
+            parent_id=id_map.get(rec.get("parent_id"), root_parent),
+            name=rec["name"],
+            attrs=dict(rec.get("attrs") or {}),
+            start_s=start_s,
+            end_s=start_s + rec.get("duration_s", 0.0),
+        )
+        tracer.ingest(sp)
+        merged += 1
+    if merged:
+        telemetry.counter(tm.METRIC_TELEMETRY_MERGED).inc(merged)
+    dropped = shipment.get("n_dropped", 0)
+    if dropped:
+        telemetry.counter(tm.METRIC_TELEMETRY_DROPPED).inc(dropped)
+    metrics = shipment.get("metrics")
+    if metrics:
+        telemetry.get_registry().merge_snapshot(metrics)
+    return merged

@@ -56,13 +56,43 @@ class JsonlSink:
         self.close()
 
 
-def read_jsonl(path: str | Path) -> Iterator[dict]:
-    """Yield every record in a trace file (skipping blank lines)."""
+def read_jsonl(path: str | Path, *, errors: str = "skip") -> Iterator[dict]:
+    """Yield every record in a trace file (skipping blank lines).
+
+    A worker crashed or reaped mid-write leaves a truncated final line;
+    with the default ``errors="skip"`` such undecodable lines are
+    silently dropped (use :func:`scan_jsonl` to also get their count,
+    which ``repro trace`` surfaces). ``errors="strict"`` restores the
+    raising behaviour for callers that need write integrity.
+    """
+    if errors not in ("skip", "strict"):
+        raise ValueError(f"errors must be 'skip' or 'strict', not {errors!r}")
     with Path(path).open(encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield json.loads(line)
+            except json.JSONDecodeError:
+                if errors == "strict":
+                    raise
+
+
+def scan_jsonl(path: str | Path) -> tuple[list[dict], int]:
+    """(records, n_skipped): decode a trace, counting undecodable lines."""
+    records: list[dict] = []
+    n_skipped = 0
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                n_skipped += 1
+    return records, n_skipped
 
 
 def records_of_type(path: str | Path, record_type: str) -> list[dict]:

@@ -12,7 +12,18 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
+
+
+def _record_of(other: Any, expected_type: str) -> dict:
+    """Normalize a metric object or its ``as_dict`` record for merging."""
+    record = other.as_dict() if hasattr(other, "as_dict") else dict(other)
+    if record.get("type") != expected_type:
+        raise TypeError(
+            f"cannot merge a {record.get('type')!r} record into a "
+            f"{expected_type}"
+        )
+    return record
 
 #: Default histogram buckets: powers of ten from 1 µs to 100 s, in seconds.
 DEFAULT_TIME_BUCKETS = (
@@ -34,6 +45,10 @@ class Counter:
             raise ValueError("counters only increase; use a Gauge")
         self.value += amount
 
+    def merge(self, other: "Counter | Mapping") -> None:
+        """Fold in another counter's total (sum law: order-independent)."""
+        self.inc(_record_of(other, "counter")["value"])
+
     def as_dict(self) -> dict:
         return {"type": "counter", "name": self.name, "value": self.value}
 
@@ -52,6 +67,15 @@ class Gauge:
 
     def add(self, delta: float) -> None:
         self.value += delta
+
+    def merge(self, other: "Gauge | Mapping") -> None:
+        """Adopt the other gauge's value (last-writer-wins law).
+
+        The worker observed strictly after this process last wrote (its
+        delta ships only when the task finishes), so the incoming value
+        is the later write by construction.
+        """
+        self.set(_record_of(other, "gauge")["value"])
 
     def as_dict(self) -> dict:
         return {"type": "gauge", "name": self.name, "value": self.value}
@@ -103,6 +127,28 @@ class Histogram:
             if seen >= rank and c:
                 return self.bounds[i] if i < len(self.bounds) else self.max
         return self.max
+
+    def merge(self, other: "Histogram | Mapping") -> None:
+        """Fold in another histogram observed over the same buckets.
+
+        Bucket-wise sums plus sum/count/min/max combination make
+        ``merge(a, b)`` equal to observing both series interleaved in
+        any order.
+        """
+        record = _record_of(other, "histogram")
+        if tuple(record["buckets"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: bucket bounds differ "
+                f"({record['buckets']} vs {list(self.bounds)})"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, record["counts"])]
+        self.total += record["sum"]
+        self.count += record["count"]
+        if record["count"]:
+            if record["min"] < self.min:
+                self.min = record["min"]
+            if record["max"] > self.max:
+                self.max = record["max"]
 
     def as_dict(self) -> dict:
         return {
@@ -183,6 +229,28 @@ class MetricsRegistry:
         with self._lock:
             items = sorted(self._metrics.items())
         return {name: m.as_dict() for name, m in items}
+
+    def merge_snapshot(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Fold a :meth:`snapshot`-shaped mapping into this registry.
+
+        The bridge for cross-process collection: a worker ships its
+        registry snapshot inside the task result envelope and the parent
+        merges it here. Unknown names are created on first sight (with
+        the shipped bucket bounds for histograms), so worker-only
+        metrics survive the hop.
+        """
+        for name, record in snapshot.items():
+            kind = record.get("type")
+            if kind == "counter":
+                self.counter(name).merge(record)
+            elif kind == "gauge":
+                self.gauge(name).merge(record)
+            elif kind == "histogram":
+                self.histogram(name, record["buckets"]).merge(record)
+            else:
+                raise TypeError(
+                    f"metric {name!r}: unknown record type {kind!r}"
+                )
 
     def record_counts(self, prefix: str, counts: Mapping[str, int | float]) -> None:
         """Bulk-increment ``<prefix>.<key>`` counters from a mapping.

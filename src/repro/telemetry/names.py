@@ -79,6 +79,10 @@ METRIC_TASKS_RETRIED = "runtime.tasks.retried"
 METRIC_TASKS_TIMEOUT = "runtime.tasks.timeout"
 #: Counter: executor recycles (hung worker / broken pool).
 METRIC_POOL_RECYCLED = "runtime.pool.recycled"
+#: Counter: worker-side spans merged into the parent trace.
+METRIC_TELEMETRY_MERGED = "runtime.telemetry.spans_merged"
+#: Counter: worker-side spans dropped by the per-task span budget.
+METRIC_TELEMETRY_DROPPED = "runtime.telemetry.dropped"
 #: Histogram: wall seconds per completed task.
 METRIC_TASK_WALL_S = "runtime.task_wall_s"
 #: Counter: points evaluated by the stepping engine.
@@ -100,6 +104,8 @@ METRIC_NAMES = frozenset(
         METRIC_TASKS_RETRIED,
         METRIC_TASKS_TIMEOUT,
         METRIC_POOL_RECYCLED,
+        METRIC_TELEMETRY_MERGED,
+        METRIC_TELEMETRY_DROPPED,
         METRIC_TASK_WALL_S,
         METRIC_STEPPING_POINTS,
         METRIC_EXPERIMENT_RUNS,

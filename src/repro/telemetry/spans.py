@@ -151,12 +151,53 @@ class Tracer:
             top = stack.pop()
             if top is sp:
                 break
+        self._record(sp)
+
+    def _record(self, sp: Span) -> None:
         with self._lock:
             if len(self._finished) == self._finished.maxlen:
                 self.n_dropped += 1
             self._finished.append(sp)
         if self._sink is not None:
             self._sink.write(sp.as_dict())
+
+    # -- manual lifecycle ----------------------------------------------------
+    #
+    # The scheduler's pool path cannot use a ``with`` block: a task span
+    # opens at submission on the parent's event loop but closes attempts
+    # later, possibly after unrelated spans opened on the same thread.
+    # ``begin``/``finish`` manage such a span explicitly, never touching
+    # the thread-local stack, so interleaved lifetimes cannot misparent
+    # stack-scoped spans.
+
+    def begin(self, name: str, *, parent_id: int | None = None, **attrs: Any) -> Span:
+        """Open a span with an explicit parent, off the nesting stack."""
+        self.n_started += 1
+        return Span(
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            name=name,
+            attrs=dict(attrs),
+            start_s=self._clock(),
+        )
+
+    def finish(self, sp: Span) -> None:
+        """Close and record a span obtained from :meth:`begin`."""
+        sp.end_s = self._clock()
+        self._record(sp)
+
+    def allocate_id(self) -> int:
+        """Reserve a fresh span id (for adopting foreign spans)."""
+        return next(self._ids)
+
+    def ingest(self, sp: Span) -> None:
+        """Adopt an externally built, already-finished span.
+
+        Used by :mod:`repro.telemetry.collect` to merge worker-process
+        spans (with remapped ids) into this tracer's buffer and sink.
+        """
+        self.n_started += 1
+        self._record(sp)
 
     # -- introspection ------------------------------------------------------
 
