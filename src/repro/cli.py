@@ -14,6 +14,8 @@ Usage::
     opm-repro trace top run.jsonl --format json
     opm-repro trace flame run.jsonl -o run.folded
     opm-repro audit src/repro --format json
+    opm-repro serve --port 8177 --jobs 4
+    opm-repro serve-bench -o BENCH_serve.json
     python -m repro run table4
 
 Batch runs (``run all``, or any ``run`` with ``--jobs``/``--journal``/
@@ -273,6 +275,81 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write folded stacks to PATH instead of stdout",
     )
+    servep = sub.add_parser(
+        "serve",
+        help="run the memory-advisor HTTP service (POST /v1/advise)",
+    )
+    servep.add_argument("--host", default="127.0.0.1")
+    servep.add_argument("--port", type=int, default=8177)
+    servep.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker shards for query execution (0 = inline; default 2)",
+    )
+    servep.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared result cache location (default: ~/.cache/opm-repro "
+        "or $OPM_REPRO_CACHE_DIR)",
+    )
+    servep.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching (every query executes)",
+    )
+    servep.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECS",
+        help="per-execution deadline; a hung shard is recycled (default 30)",
+    )
+    servep.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts after a crashed execution (default 1)",
+    )
+    servep.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="enable telemetry and stream spans to PATH as JSONL",
+    )
+    sbenchp = sub.add_parser(
+        "serve-bench",
+        help="load-test the advisor service and write BENCH_serve.json",
+    )
+    sbenchp.add_argument(
+        "-o", "--output", default="BENCH_serve.json", metavar="PATH"
+    )
+    sbenchp.add_argument("--clients", type=int, default=8, metavar="N")
+    sbenchp.add_argument(
+        "--requests", type=int, default=40, metavar="N",
+        help="requests per client in the mixed phase (default 40)",
+    )
+    sbenchp.add_argument(
+        "--distinct", type=int, default=24, metavar="N",
+        help="distinct advise queries in the workload (default 24)",
+    )
+    sbenchp.add_argument(
+        "--identical", type=int, default=100, metavar="N",
+        help="identical concurrent queries for the coalescing proof "
+        "(default 100)",
+    )
+    sbenchp.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker shards (0 = inline, the fast CI mode; default 0)",
+    )
+    sbenchp.add_argument("--seed", type=int, default=7)
+    sbenchp.add_argument(
+        "--slo-p99-ms", type=float, default=250.0, metavar="MS",
+        help="advise-route p99 budget asserted by the verdict (default 250)",
+    )
     from repro.audit.cli import add_audit_parser
 
     add_audit_parser(sub)
@@ -482,6 +559,74 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro import telemetry
+    from repro.serve.app import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        no_cache=args.no_cache,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    if args.trace:
+        telemetry.configure(enabled=True, trace_path=args.trace)
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        if args.trace:
+            telemetry.disable()
+            print(f"wrote trace {args.trace}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import run_bench
+
+    doc = run_bench(
+        out=Path(args.output),
+        clients=args.clients,
+        requests_per_client=args.requests,
+        distinct=args.distinct,
+        identical=args.identical,
+        seed=args.seed,
+        jobs=args.jobs,
+        slo_p99_ms=args.slo_p99_ms,
+    )
+    verdict = doc["verdict"]
+    mixed = doc["mixed"]
+    print(
+        f"serve-bench: {mixed['requests']} requests in "
+        f"{mixed['elapsed_s']:.2f}s ({mixed['throughput_rps']:.0f} rps), "
+        f"advise p50 {mixed['routes']['advise']['p50_ms']:.2f} ms / "
+        f"p99 {mixed['routes']['advise']['p99_ms']:.2f} ms"
+    )
+    print(
+        f"coalescing proof: {doc['proof']['identical_concurrent']} identical "
+        f"concurrent -> {doc['proof']['engine_executions']} engine "
+        f"execution(s); coalesced ratio "
+        f"{doc['ratios']['coalesced']:.2f}, cache-hit ratio "
+        f"{doc['ratios']['cache_hit']:.2f}"
+    )
+    print(f"wrote {args.output}")
+    if not verdict["ok"]:
+        failed = [
+            k
+            for k in ("slo_ok", "coalescing_ok", "no_failures")
+            if not verdict[k]
+        ]
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -525,6 +670,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "audit":
         from repro.audit.cli import main as audit_main
 

@@ -23,7 +23,13 @@ that makes re-running it cheap:
   scheduler's unhappy paths are testable without real wall-clock hangs.
 """
 
-from repro.runtime.cache import CacheStats, ResultCache, default_cache_dir
+from repro.runtime.cache import (
+    CacheStats,
+    ResultCache,
+    SharedResultCache,
+    default_cache_dir,
+    file_lock,
+)
 from repro.runtime.faults import FaultInjected, FaultPlan
 from repro.runtime.fingerprint import source_digest, task_key
 from repro.runtime.journal import RunJournal, completed_tasks, final_statuses
@@ -36,9 +42,11 @@ __all__ = [
     "FaultPlan",
     "ResultCache",
     "RunJournal",
+    "SharedResultCache",
     "TaskOutcome",
     "completed_tasks",
     "default_cache_dir",
+    "file_lock",
     "final_statuses",
     "run_batch",
     "source_digest",

@@ -1,0 +1,139 @@
+"""Coalescing micro-batcher.
+
+Traffic to an advisor is heavily repetitive: many clients ask about the
+same (kernel, size, candidates) tuple at once. The batcher exploits that
+in two ways:
+
+* **Coalescing** — queries with the same canonical cache key share one
+  in-flight execution. N identical concurrent requests cost exactly one
+  engine evaluation; the other N-1 await the same future and count into
+  ``serve.requests.coalesced``.
+* **Micro-batching** — distinct keys that arrive within one drain window
+  are grouped and dispatched together, giving the worker pool a batch to
+  spread across shards instead of a trickle.
+
+Everything runs on the event-loop thread, so the invariants are enforced
+by *not awaiting* between checking and updating the in-flight map: a key
+is claimed (inserted) synchronously on first sight, and resolved (popped
+and completed) synchronously when its execution finishes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+from repro import telemetry
+from repro.telemetry import names as tm
+
+#: One queued query: its canonical key plus the opaque job the executor
+#: understands (the batcher never inspects job payloads).
+@dataclass
+class _Pending:
+    key: str
+    job: Any
+    future: asyncio.Future = field(repr=False)
+
+
+class Batcher:
+    """Deduplicate identical in-flight queries and drain micro-batches.
+
+    ``execute`` receives a list of (key, job) pairs — one per *distinct*
+    key — and must return one result per pair, in order; an item's slot
+    may hold an exception instance, which resolves that key's waiters
+    exceptionally without failing its batch-mates. An exception *raised*
+    by ``execute`` fans out to every waiter of every key in the batch.
+    """
+
+    def __init__(
+        self,
+        execute: Callable[[list[tuple[str, Any]]], Awaitable[list[Any]]],
+        *,
+        max_batch: int = 16,
+        window_s: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._execute = execute
+        self._max_batch = max_batch
+        self._window_s = window_s
+        #: key -> future shared by every waiter of that key.
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._queue: list[_Pending] = []
+        self._drainer: asyncio.Task | None = None
+        self.coalesced = 0
+        self.dispatched = 0
+        self.batches = 0
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def submit(self, key: str, job: Any) -> Any:
+        """Resolve one query, sharing work with identical in-flight ones."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            telemetry.counter(tm.METRIC_SERVE_COALESCED).inc()
+            # shield: one waiter being cancelled must not cancel the
+            # shared execution other waiters depend on.
+            return await asyncio.shield(existing)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        self._queue.append(_Pending(key=key, job=job, future=future))
+        if self._drainer is None or self._drainer.done():
+            self._drainer = loop.create_task(self._drain())
+        return await asyncio.shield(future)
+
+    async def _drain(self) -> None:
+        while self._queue:
+            if len(self._queue) < self._max_batch and self._window_s > 0:
+                # Let one window of concurrent arrivals pile up so they
+                # ship as one batch.
+                await asyncio.sleep(self._window_s)
+            batch, self._queue = (
+                self._queue[: self._max_batch],
+                self._queue[self._max_batch :],
+            )
+            if not batch:
+                continue
+            self.batches += 1
+            self.dispatched += len(batch)
+            telemetry.histogram(tm.METRIC_SERVE_BATCH_SIZE).observe(
+                float(len(batch))
+            )
+            sp = telemetry.get_tracer().begin(
+                tm.SPAN_SERVE_BATCH, size=len(batch)
+            )
+            try:
+                results = await self._execute(
+                    [(p.key, p.job) for p in batch]
+                )
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"executor returned {len(results)} results "
+                        f"for {len(batch)} jobs"
+                    )
+            except BaseException as exc:
+                for p in batch:
+                    self._inflight.pop(p.key, None)
+                    if not p.future.done():
+                        p.future.set_exception(exc)
+                telemetry.get_tracer().finish(sp)
+                if isinstance(exc, asyncio.CancelledError):
+                    raise
+                continue
+            telemetry.get_tracer().finish(sp)
+            # Pop + resolve with no await in between: a request for the
+            # same key arriving after this point starts a fresh
+            # execution instead of latching onto a completed future.
+            for p, result in zip(batch, results):
+                self._inflight.pop(p.key, None)
+                if p.future.done():
+                    continue
+                if isinstance(result, BaseException):
+                    p.future.set_exception(result)
+                else:
+                    p.future.set_result(result)

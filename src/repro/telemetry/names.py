@@ -40,6 +40,15 @@ SPAN_KERNEL_SIMULATE_BATCHED = "kernel.simulate_batched"
 SPAN_SWEEP_KERNEL = "sweep.kernel"
 #: One hierarchy trace replay (scalar run/run_lines and batched paths).
 SPAN_HIERARCHY_RUN = "hierarchy.run"
+#: One HTTP request handled by the memory-advisor service (manual
+#: lifecycle: the asyncio handler interleaves requests on one thread).
+SPAN_SERVE_REQUEST = "serve.request"
+#: One coalesced micro-batch drained by the serve batcher.
+SPAN_SERVE_BATCH = "serve.batch"
+#: One query executed on a serve worker shard (manual lifecycle).
+SPAN_SERVE_EXECUTE = "serve.execute"
+#: One advisor engine evaluation (worker side, with-scoped).
+SPAN_SERVE_ADVISE = "serve.advise"
 
 #: Every canonical span name (SPAN001 checks literals against this set).
 SPAN_NAMES = frozenset(
@@ -56,6 +65,10 @@ SPAN_NAMES = frozenset(
         SPAN_KERNEL_SIMULATE_BATCHED,
         SPAN_SWEEP_KERNEL,
         SPAN_HIERARCHY_RUN,
+        SPAN_SERVE_REQUEST,
+        SPAN_SERVE_BATCH,
+        SPAN_SERVE_EXECUTE,
+        SPAN_SERVE_ADVISE,
     }
 )
 
@@ -91,6 +104,26 @@ METRIC_STEPPING_POINTS = "engine.stepping.points"
 METRIC_EXPERIMENT_RUNS = "experiments.runs"
 #: Counter: sweep points evaluated (Broadwell + KNL sweeps).
 METRIC_SWEEP_POINTS = "sweep.points"
+#: Counter: HTTP requests accepted by the advisor service.
+METRIC_SERVE_REQUESTS = "serve.requests.total"
+#: Counter: requests answered with a non-2xx status.
+METRIC_SERVE_ERRORS = "serve.requests.errors"
+#: Counter: requests folded onto an identical in-flight execution.
+METRIC_SERVE_COALESCED = "serve.requests.coalesced"
+#: Counter: serve answers produced without touching disk (LRU hot tier).
+METRIC_SERVE_CACHE_HOT = "serve.cache.hot_hits"
+#: Counter: serve answers replayed from the shared on-disk cache.
+METRIC_SERVE_CACHE_DISK = "serve.cache.disk_hits"
+#: Counter: serve queries that required an engine execution.
+METRIC_SERVE_CACHE_MISSES = "serve.cache.misses"
+#: Counter: advisor engine evaluations (the coalescing-proof number).
+METRIC_SERVE_ENGINE_EXECUTIONS = "serve.engine.executions"
+#: Counter: worker executions recycled after a timeout or pool break.
+METRIC_SERVE_RECYCLED = "serve.pool.recycled"
+#: Histogram: wall seconds per served request.
+METRIC_SERVE_REQUEST_WALL_S = "serve.request_wall_s"
+#: Histogram: queries per drained micro-batch.
+METRIC_SERVE_BATCH_SIZE = "serve.batch_size"
 
 #: Every canonical static metric name.
 METRIC_NAMES = frozenset(
@@ -110,6 +143,16 @@ METRIC_NAMES = frozenset(
         METRIC_STEPPING_POINTS,
         METRIC_EXPERIMENT_RUNS,
         METRIC_SWEEP_POINTS,
+        METRIC_SERVE_REQUESTS,
+        METRIC_SERVE_ERRORS,
+        METRIC_SERVE_COALESCED,
+        METRIC_SERVE_CACHE_HOT,
+        METRIC_SERVE_CACHE_DISK,
+        METRIC_SERVE_CACHE_MISSES,
+        METRIC_SERVE_ENGINE_EXECUTIONS,
+        METRIC_SERVE_RECYCLED,
+        METRIC_SERVE_REQUEST_WALL_S,
+        METRIC_SERVE_BATCH_SIZE,
     }
 )
 

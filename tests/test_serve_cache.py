@@ -1,0 +1,189 @@
+"""Shared cache under concurrency: locks, hot tier, stats hardening."""
+
+import json
+import multiprocessing
+import os
+
+from repro.runtime import file_lock
+from repro.runtime.cache import ResultCache, SharedResultCache
+
+PAYLOAD = {"schema": 1, "winner": {"platform": "knl", "mode": "cache"}}
+
+
+# -- multiprocess workers (module level: picklable under spawn and fork) ------
+
+
+def _locked_increment(root, n):
+    """Read-modify-write a counter file n times under the cache lock."""
+    from pathlib import Path
+
+    root = Path(root)
+    target = root / "counter.txt"
+    for _ in range(n):
+        with file_lock(root / "counter.lock"):
+            value = int(target.read_text()) if target.exists() else 0
+            target.write_text(str(value + 1))
+
+
+def _hammer(root, worker_id, iterations):
+    """Mixed reads + writes + clears against one shared cache dir.
+
+    Exits nonzero if any operation raises or any read returns a
+    corrupt object — the assertion the parent checks via exitcode.
+    """
+    cache = SharedResultCache(root, hot_capacity=8)
+    for i in range(iterations):
+        key = f"{worker_id:x}{i % 5:x}" + "0" * 62
+        cache.put_payload(key, {"worker": worker_id, "i": i, **PAYLOAD})
+        got = cache.get_payload(key)
+        # A concurrent clear() may race the read to None, but a present
+        # payload must always be complete and well-formed.
+        if got is not None and ("winner" not in got or "worker" not in got):
+            raise SystemExit(3)
+        cache.record_run(hits=1, misses=1)
+        if worker_id == 0 and i % 7 == 6:
+            cache.clear()
+        other = f"{(worker_id ^ 1):x}{i % 5:x}" + "0" * 62
+        got = cache.get_payload(other)
+        if got is not None and "winner" not in got:
+            raise SystemExit(4)
+
+
+def _record_runs(root, n):
+    cache = ResultCache(root)
+    for _ in range(n):
+        cache.record_run(hits=1, misses=2)
+
+
+def _run_procs(target, argslist):
+    procs = [
+        multiprocessing.Process(target=target, args=args) for args in argslist
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+    assert all(p.exitcode == 0 for p in procs), [p.exitcode for p in procs]
+
+
+# -- file_lock ----------------------------------------------------------------
+
+
+class TestFileLock:
+    def test_serializes_read_modify_write(self, tmp_path):
+        n, procs = 100, 3
+        _run_procs(_locked_increment, [(str(tmp_path), n)] * procs)
+        assert int((tmp_path / "counter.txt").read_text()) == n * procs
+
+    def test_reentrant_across_processes_only(self, tmp_path):
+        # Same-process sequential acquisition works (no deadlock).
+        with file_lock(tmp_path / "a.lock"):
+            pass
+        with file_lock(tmp_path / "a.lock"):
+            pass
+
+
+# -- hot tier -----------------------------------------------------------------
+
+
+class TestHotTier:
+    def test_repeat_hits_never_touch_disk(self, tmp_path):
+        cache = SharedResultCache(tmp_path, hot_capacity=4)
+        key = "ab" * 32
+        cache.put_payload(key, dict(PAYLOAD))
+        # Remove the on-disk object: the hot tier must still answer.
+        for path in cache.entries():
+            os.unlink(path)
+        assert cache.get_payload(key) == PAYLOAD
+        assert cache.hot_hits == 1
+        assert cache.disk_hits == 0
+
+    def test_disk_promotes_to_hot(self, tmp_path):
+        writer = SharedResultCache(tmp_path, hot_capacity=4)
+        key = "cd" * 32
+        writer.put_payload(key, dict(PAYLOAD))
+        reader = SharedResultCache(tmp_path, hot_capacity=4)
+        assert reader.get_payload(key) == PAYLOAD
+        assert reader.disk_hits == 1
+        assert reader.get_payload(key) == PAYLOAD
+        assert reader.hot_hits == 1
+
+    def test_lru_eviction_bounds_memory(self, tmp_path):
+        cache = SharedResultCache(tmp_path, hot_capacity=2)
+        keys = [f"{i:x}" * 64 for i in range(1, 5)]
+        for k in keys:
+            cache.put_payload(k, dict(PAYLOAD))
+        assert cache.hot_entries == 2
+
+    def test_hot_copy_is_isolated(self, tmp_path):
+        cache = SharedResultCache(tmp_path, hot_capacity=4)
+        key = "ef" * 32
+        cache.put_payload(key, dict(PAYLOAD))
+        first = cache.get_payload(key)
+        first["winner"] = "mutated"
+        assert cache.get_payload(key)["winner"] == PAYLOAD["winner"]
+
+    def test_clear_clears_hot_tier(self, tmp_path):
+        cache = SharedResultCache(tmp_path, hot_capacity=4)
+        key = "0a" * 32
+        cache.put_payload(key, dict(PAYLOAD))
+        cache.clear()
+        assert cache.hot_entries == 0
+        assert cache.get_payload(key) is None
+
+    def test_miss_counted(self, tmp_path):
+        cache = SharedResultCache(tmp_path)
+        assert cache.get_payload("9" * 64) is None
+        assert cache.misses == 1
+
+
+# -- stats hardening ----------------------------------------------------------
+
+
+class TestStatsHardening:
+    def test_corrupt_stats_resets_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "stats.json").write_text("{not json!!")
+        assert cache.stats().lifetime_hits == 0
+        cache.record_run(hits=2, misses=1)
+        assert cache.stats().lifetime_hits == 2
+
+    def test_wrong_shape_stats_tolerated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "stats.json").write_text('["a", "list"]')
+        assert cache.stats().lifetime_misses == 0
+        (tmp_path / "stats.json").write_text(
+            json.dumps({"lifetime_hits": "NaN", "lifetime_misses": 3})
+        )
+        assert cache.stats().lifetime_hits == 0
+        assert cache.stats().lifetime_misses == 3
+
+    def test_concurrent_record_run_loses_no_updates(self, tmp_path):
+        n, procs = 50, 4
+        _run_procs(_record_runs, [(str(tmp_path), n)] * procs)
+        stats = ResultCache(tmp_path).stats()
+        assert stats.lifetime_hits == n * procs
+        assert stats.lifetime_misses == 2 * n * procs
+
+
+# -- multiprocess contention --------------------------------------------------
+
+
+class TestContention:
+    def test_two_processes_never_corrupt_objects_or_stats(self, tmp_path):
+        _run_procs(
+            _hammer,
+            [(str(tmp_path), 0, 40), (str(tmp_path), 1, 40)],
+        )
+        cache = SharedResultCache(tmp_path)
+        # Every surviving object decodes cleanly.
+        for path in cache.entries():
+            doc = json.loads(path.read_text())
+            assert doc["schema"] == 1
+            assert "winner" in doc["payload"]
+        # stats.json survived interleaved writers (and clears, which
+        # reset it) as valid JSON counts — never a corrupt partial write.
+        stats = cache.stats()
+        assert stats.lifetime_hits >= 0
+        assert stats.lifetime_misses >= 0
+        assert stats.lifetime_hits == stats.lifetime_misses  # 1:1 recorded
