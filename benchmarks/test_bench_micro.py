@@ -95,11 +95,13 @@ def test_bench_hierarchy_batched(benchmark):
     )
 
 
-def test_bench_batched_speedup_at_least_3x():
-    """Acceptance gate: the batched fast path is >= 3x the scalar oracle.
+def test_bench_batched_speedup_at_least_10x():
+    """Acceptance gate: the batched fast path is >= 10x the scalar oracle.
 
-    Measured directly (min of 3) rather than via the benchmark fixture so
-    the ratio compares the same machine state back to back.
+    Raised from 3x after the set-bucketed vectorized rewrite of the
+    hierarchy chain (measured ~13-17x on this trace). Measured directly
+    (min of 3) rather than via the benchmark fixture so the ratio
+    compares the same machine state back to back.
     """
     addrs, writes = _triad_trace(1000, 150)
     alist, wlist = addrs.tolist(), writes.tolist()
@@ -117,7 +119,7 @@ def test_bench_batched_speedup_at_least_3x():
     batched = best_of(_replay_batched, addrs, writes)
     speedup = scalar / batched
     print(f"scalar {scalar:.3f}s batched {batched:.3f}s speedup {speedup:.2f}x")
-    assert speedup >= 3.0
+    assert speedup >= 10.0
 
 
 def test_bench_csr5_encode(benchmark):

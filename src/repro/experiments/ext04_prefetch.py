@@ -50,12 +50,12 @@ def run(quick: bool = True) -> ExperimentResult:
     machine = broadwell()
     rows = []
     for name, kernel in _workloads(quick).items():
-        # Chunk the trace once (ndarray line-address chunks) and replay
-        # it against each prefetcher configuration.
-        chunks = list(kernel_trace_chunks(kernel, reps=2))
         for kind in PREFETCHERS:
+            # Regenerate the chunk stream per configuration: one rep's
+            # arrays are built vectorized either way, and streaming them
+            # keeps peak memory at one chunk instead of the whole trace.
             h = for_broadwell(machine, scale=0.001, prefetch=kind)
-            stats = h.run_batched(chunks)
+            stats = h.run_batched(kernel_trace_chunks(kernel, reps=2))
             pf = h._prefetcher
             rows.append(
                 (

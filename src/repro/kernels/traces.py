@@ -11,10 +11,10 @@ Traces are meant for *small* configurations (the generators guard against
 accidentally emitting billions of events). Array placement mirrors the
 profile's ``arrays`` dict: consecutive page-aligned regions.
 
-:func:`kernel_trace_chunks` is the batched face of the same streams:
-kernels with regular loop nests (stream, gemm, spmv, sptrans, stencil,
-fft) construct their per-repetition reference order directly as numpy
-arrays; the level-scheduled solvers (cholesky, sptrsv) fall back to the
+:func:`kernel_trace_chunks` is the batched face of the same streams: all
+eight paper kernels construct their per-repetition reference order
+directly as numpy arrays (the level-scheduled solvers build theirs from
+the schedule's stable row order); unknown kernel types fall back to the
 scalar tracer behind :func:`repro.trace.batch.chunk_accesses`. Either way
 the emitted line-address chunks replay the scalar trace exactly, event
 for event (``tests/test_trace_batch.py`` pins this differentially).
@@ -366,6 +366,109 @@ def _array_gemm(kernel: GemmKernel, reps: int):
     return np.concatenate(seg_a), WORD, np.concatenate(seg_w)
 
 
+def _array_cholesky(kernel: CholeskyKernel, reps: int):
+    n, b = kernel.order, min(kernel.tile, kernel.order)
+    _guard(n**3 * reps, "cholesky")
+    a0 = _layout({"A": n * n * WORD})["A"]
+    seg_a, seg_w = [], []
+    for k0 in range(0, n, b):
+        k1 = min(k0 + b, n)
+        pp = np.arange(k0, k1, dtype=np.int64)
+        bp = len(pp)
+        # POTRF: row-major lower triangle of the diagonal tile, all writes.
+        ti, tj = np.tril_indices(k1 - k0)
+        seg_a.append(a0 + ((k0 + ti) * n + (k0 + tj)) * WORD)
+        seg_w.append(np.ones(ti.size, dtype=bool))
+        for i0 in range(k1, n, b):
+            i1 = min(i0 + b, n)
+            ii = np.arange(i0, i1, dtype=np.int64)
+            bi = len(ii)
+            # TRSM panel: every (i, p) written, row-major.
+            a_rows = a0 + (ii[:, None] * n + pp[None, :]) * WORD
+            seg_a.append(a_rows.ravel())
+            seg_w.append(np.ones(a_rows.size, dtype=bool))
+            # SYRK/GEMM trailing update: per (i, j) the A(i,p),A(j,p)
+            # pairs over p, then the C-position write — gemm's block
+            # shape with both operands drawn from the same panel.
+            for j0 in range(k1, i1, b):
+                j1 = min(j0 + b, i1)
+                jj = np.arange(j0, j1, dtype=np.int64)
+                bj = len(jj)
+                b_rows = a0 + (jj[:, None] * n + pp[None, :]) * WORD
+                blk = np.empty((bi, bj, 2 * bp + 1), dtype=np.int64)
+                blk[:, :, 0 : 2 * bp : 2] = a_rows[:, None, :]
+                blk[:, :, 1 : 2 * bp : 2] = b_rows[None, :, :]
+                blk[:, :, 2 * bp] = a0 + (ii[:, None] * n + jj[None, :]) * WORD
+                w = np.zeros((bi, bj, 2 * bp + 1), dtype=bool)
+                w[:, :, 2 * bp] = True
+                seg_a.append(blk.ravel())
+                seg_w.append(w.ravel())
+    return np.concatenate(seg_a), WORD, np.concatenate(seg_w)
+
+
+def _array_sptrsv(kernel: SptrsvKernel, reps: int):
+    matrix = kernel.matrix if kernel.matrix is not None else kernel.descriptor.materialize()
+    lower = matrix.lower_triangle()
+    schedule = build_levels(lower)
+    _guard(4 * lower.nnz * reps, "sptrsv")
+    base = _layout(
+        {
+            "vals": lower.nnz * WORD,
+            "cols": lower.nnz * 4,
+            "indptr": (lower.n_rows + 1) * 4,
+            "x": lower.n_rows * WORD,
+            "b": lower.n_rows * WORD,
+        }
+    )
+    indptr = np.asarray(lower.indptr, dtype=np.int64)
+    indices = np.asarray(lower.indices, dtype=np.int64)
+    # Concatenating rows_in_level(0..n_levels) is exactly the stable
+    # level-sorted row order the scheduler stores.
+    perm = np.asarray(schedule.order, dtype=np.int64)
+    n_rows = perm.shape[0]
+    row_nnz = indptr[perm + 1] - indptr[perm]
+    total_nnz = int(row_nnz.sum())
+    nnz_starts = np.cumsum(row_nnz) - row_nnz
+    if total_nnz:
+        row_of = np.repeat(np.arange(n_rows, dtype=np.int64), row_nnz)
+        pos = np.arange(total_nnz, dtype=np.int64) - np.repeat(nnz_starts, row_nnz)
+        k = np.repeat(indptr[perm], row_nnz) + pos
+        j = indices[k]
+        lt = j < np.repeat(perm, row_nnz)  # strictly-lower: gathers x[j]
+        lt_per_row = np.bincount(row_of[lt], minlength=n_rows)
+    else:
+        row_of = k = j = np.empty(0, dtype=np.int64)
+        lt = np.empty(0, dtype=bool)
+        lt_per_row = np.zeros(n_rows, dtype=np.int64)
+    # Per row in level order: indptr read, (cols, vals[, x-gather]) per
+    # nonzero, b read, x write.
+    counts = 3 + 2 * row_nnz + lt_per_row
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    addrs = np.empty(total, dtype=np.int64)
+    sizes = np.full(total, WORD, dtype=np.int64)
+    writes = np.zeros(total, dtype=bool)
+    addrs[starts] = base["indptr"] + perm * 4
+    sizes[starts] = 4
+    ends = starts + counts
+    addrs[ends - 2] = base["b"] + perm * WORD
+    addrs[ends - 1] = base["x"] + perm * WORD
+    writes[ends - 1] = True
+    if total_nnz:
+        # Event offset of each nonzero within its row's run: the global
+        # event prefix minus the prefix at the row's first nonzero.
+        ev_per_nnz = 2 + lt
+        cum_ev = np.cumsum(ev_per_nnz) - ev_per_nnz
+        nonempty = row_nnz > 0
+        within = cum_ev - np.repeat(cum_ev[nnz_starts[nonempty]], row_nnz[nonempty])
+        t0 = starts[row_of] + 1 + within
+        addrs[t0] = base["cols"] + k * 4
+        sizes[t0] = 4
+        addrs[t0 + 1] = base["vals"] + k * WORD
+        addrs[t0[lt] + 2] = base["x"] + j[lt] * WORD
+    return addrs, sizes, writes
+
+
 def _array_spmv(kernel: SpmvKernel, reps: int):
     matrix = kernel.matrix if kernel.matrix is not None else kernel.descriptor.materialize()
     _guard(4 * matrix.nnz * reps, "spmv")
@@ -519,8 +622,10 @@ def _array_fft(kernel: FftKernel, reps: int):
 _ARRAY_TRACERS = {
     StreamKernel: _array_stream,
     GemmKernel: _array_gemm,
+    CholeskyKernel: _array_cholesky,
     SpmvKernel: _array_spmv,
     SptransKernel: _array_sptrans,
+    SptrsvKernel: _array_sptrsv,
     StencilKernel: _array_stencil,
     FftKernel: _array_fft,
 }
@@ -536,10 +641,10 @@ def kernel_trace_chunks(
     """Line-address chunks of ``kernel``'s trace (batched fast path).
 
     Yields ``(line_addrs, writes)`` ndarray pairs replaying exactly the
-    stream of ``to_line_trace(kernel_trace(kernel, reps), line)``. The
-    regular kernels expand one repetition vectorized and replay it
-    ``reps`` times; the level-scheduled solvers (cholesky, sptrsv) adapt
-    their scalar tracers through :func:`repro.trace.batch.chunk_accesses`.
+    stream of ``to_line_trace(kernel_trace(kernel, reps), line)``. All
+    eight paper kernels expand one repetition vectorized and replay it
+    ``reps`` times; unknown kernel types adapt their scalar tracers
+    through :func:`repro.trace.batch.chunk_accesses`.
     """
     for cls, fn in _ARRAY_TRACERS.items():
         if isinstance(kernel, cls):

@@ -33,6 +33,17 @@ from repro.platforms.tuning import EdramMode, McdramMode
 #: batched inner loop's single-operation set probes.
 _MISS = object()
 
+#: Below this many events a level pass skips set classification outright:
+#: the np.unique + residency probe would cost more than the plain loop.
+_CLASSIFY_MIN = 1024
+
+#: Adaptive sub-block sizing for the batched path. Blocks start small so
+#: a cold cache (where classification can't help) pays little overhead,
+#: and double on mostly-vectorized blocks so a warm steady state amortizes
+#: one classification pass over up to 64Ki references.
+_BLOCK_MIN = 4096
+_BLOCK_MAX = 1 << 16
+
 
 class _CacheStage:
     """A standard inclusive-fill cache level with its counters."""
@@ -151,12 +162,12 @@ class Hierarchy:
         order, every counter — is byte-identical to feeding the same
         references through :meth:`access` one at a time.
         """
-        alist, wlist = _coerce_chunk(addrs, writes)
+        arr, warr = _coerce_chunk(addrs, writes)
         # Same span name as the scalar run(): consumers key on the
         # logical operation; the attribute says which path produced it.
         with telemetry.span(tm.SPAN_HIERARCHY_RUN, line=self.line, batched=True) as sp:
-            self._run_chunk(alist, wlist)
-            sp.set_attr("refs", len(alist))
+            self._run_chunk(arr, warr)
+            sp.set_attr("refs", int(arr.shape[0]))
         self._publish_telemetry()
         return self.stats()
 
@@ -173,9 +184,9 @@ class Hierarchy:
         with telemetry.span(tm.SPAN_HIERARCHY_RUN, line=self.line, batched=True) as sp:
             total = 0
             for addrs, writes in chunks:
-                alist, wlist = _coerce_chunk(addrs, writes)
-                self._run_chunk(alist, wlist)
-                total += len(alist)
+                arr, warr = _coerce_chunk(addrs, writes)
+                self._run_chunk(arr, warr)
+                total += int(arr.shape[0])
             sp.set_attr("refs", total)
         self._publish_telemetry()
         return self.stats()
@@ -216,135 +227,341 @@ class Hierarchy:
         """Sink for victims displaced out of the LLC by prefetch fills."""
         self._handle_eviction(len(self._stages) - 1, ev)
 
-    def _run_chunk(self, alist: list, wlist: list) -> None:
-        # The batched inner loop. Two rules keep it honest: (1) the
-        # first two levels — where nearly every reference resolves — are
-        # inlined against the raw set dicts with all counters
-        # accumulated in locals and flushed once per chunk; (2)
-        # everything deeper goes through the exact same
-        # _walk/_handle_eviction code as the scalar oracle, in the same
-        # order (a victim is propagated *before* the walk probes the
-        # next level, exactly as access() does via cache.access followed
-        # by _handle_eviction). A clean victim of a non-last stage is
-        # dropped without constructing an Eviction: _handle_eviction
-        # would fall straight through for it anyway, and minting the
-        # object dominated the miss path.
-        stages = self._stages
-        n_stages = len(stages)
-        stage0 = stages[0]
-        cache0 = stage0.cache
-        sets0 = cache0._sets
-        mask0 = cache0.n_sets - 1
-        ways0 = cache0.ways
-        deep = n_stages > 1
-        if deep:
-            stage1 = stages[1]
-            cache1 = stage1.cache
-            sets1 = cache1._sets
-            mask1 = cache1.n_sets - 1
-            ways1 = cache1.ways
-            last1 = n_stages == 2
-        walk = self._walk
+    def _run_chunk(self, addrs: np.ndarray, writes: np.ndarray) -> None:
+        # The batched inner loop: set-bucketed, level-by-level replay.
+        #
+        # Each sub-block makes one pass per cache level over an *event*
+        # stream (demand accesses plus dirty-victim inserts bound for
+        # that level). A pass classifies the level's sets: a set whose
+        # distinct touched lines are all initially resident — and which
+        # receives no victim inserts — can only produce hits, so its
+        # final LRU order, dirty bits and counters are computed
+        # wholesale from NumPy reductions (one dict pop/re-add per
+        # *distinct* line instead of one per reference). Only events
+        # landing in the remaining "slow" sets run the sequential loop;
+        # their miss residue (the access plus any dirty victim, in
+        # scalar propagation order) becomes the next level's event
+        # stream. This is byte-identical to feeding access() one
+        # reference at a time because levels never feed upward: victim
+        # promotion only ever inserts into the set that just missed,
+        # which is slow by construction.
+        n = addrs.shape[0]
+        if n == 0:
+            return
         if self._prefetcher is not None:
             # Prefetcher runs interleave observe() with every reference;
             # drive them through the same observe+walk sequence as the
-            # scalar oracle (identical by construction) so the lean loop
-            # below never pays a per-reference prefetcher check.
-            # Telemetry stays hoisted to chunk granularity either way.
+            # scalar oracle (identical by construction). Telemetry stays
+            # hoisted to chunk granularity either way.
             observe = self._prefetch_observe
-            for addr, w in zip(alist, wlist):
+            walk = self._walk
+            for addr, w in zip(addrs.tolist(), writes.tolist()):
                 observe(addr)
                 walk(0, addr, w)
             return
+        # Adaptive sub-blocks: grow while the first level resolves
+        # (almost) everything vectorized, shrink back the moment it
+        # stops — a cold or thrashing phase then pays classification on
+        # small blocks only.
+        block = _BLOCK_MIN
+        start = 0
+        while start < n:
+            end = start + block
+            mostly_fast = self._run_block(addrs[start:end], writes[start:end])
+            start = end
+            block = min(block * 2, _BLOCK_MAX) if mostly_fast else _BLOCK_MIN
+
+    def _run_block(self, lines: np.ndarray, flags: np.ndarray) -> bool:
+        """Replay one sub-block through every level; returns whether the
+        first level handled (nearly) all of it on the vectorized path."""
+        ins: np.ndarray | None = None
+        first_fast = False
+        for i in range(len(self._stages)):
+            lines, ins, flags, fast = self._level_pass(i, lines, ins, flags)
+            if i == 0:
+                first_fast = fast
+            if lines is None:
+                break
+        return first_fast
+
+    def _level_pass(
+        self,
+        i: int,
+        lines: np.ndarray,
+        ins: np.ndarray | None,
+        flags: np.ndarray,
+    ) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None, bool]:
+        """Drive one level's event stream; return the next level's.
+
+        ``lines`` holds the event line addresses in order; ``ins`` marks
+        which events are dirty-victim inserts (None = pure access
+        stream); ``flags`` carries the write bit for accesses and the
+        dirty bit (always True) for inserts. Returns ``(lines, ins,
+        flags, mostly_fast)`` for the next level, with ``lines is None``
+        when nothing propagates deeper.
+        """
+        stage = self._stages[i]
+        cache = stage.cache
+        sets = cache._sets
+        mask = cache.n_sets - 1
+        ways = cache.ways
+        last = i == len(self._stages) - 1
+        st = stage.stats
+        n = lines.shape[0]
+        fast_ok = False
+        if n >= _CLASSIFY_MIN:
+            uniq, inv = np.unique(lines, return_inverse=True)
+            nu = uniq.shape[0]
+            if nu * 4 <= n:
+                usets = uniq & mask
+                ul = uniq.tolist()
+                usl = usets.tolist()
+                resident = np.fromiter(
+                    (ln in sets[si] for ln, si in zip(ul, usl)),
+                    dtype=bool,
+                    count=nu,
+                )
+                # A set is slow if any of its touched lines starts
+                # non-resident (a miss will evict there) or if a victim
+                # insert targets it (inserts can displace residents).
+                slow_sets = np.zeros(cache.n_sets, dtype=bool)
+                slow_sets[usets[~resident]] = True
+                if ins is not None:
+                    slow_sets[lines[ins] & mask] = True
+                ev_slow = slow_sets[lines & mask]
+                n_slow = int(ev_slow.sum())
+                if n_slow * 2 <= n:
+                    # Vectorized wholesale update of the all-hit sets.
+                    # Scalar LRU leaves untouched residents in front (in
+                    # their original order) and touched lines behind
+                    # them ordered by *last* touch; one pop/re-add per
+                    # distinct line in global last-touch order lands the
+                    # exact same dict state. Dirty bit: initial OR any
+                    # write; n_dirty_created: first write to an
+                    # initially-clean line.
+                    n_fast = n - n_slow
+                    wmask = flags if ins is None else flags & ~ins
+                    wcnt = np.bincount(inv[wmask], minlength=nu)
+                    lastpos = np.empty(nu, dtype=np.intp)
+                    lastpos[inv] = np.arange(n, dtype=np.intp)
+                    fast_u = np.flatnonzero(~slow_sets[usets])
+                    order = fast_u[np.argsort(lastpos[fast_u])]
+                    wrote = (wcnt > 0).tolist()
+                    created_fast = 0
+                    for ui in order.tolist():
+                        ln = ul[ui]
+                        s = sets[usl[ui]]
+                        d = s.pop(ln)
+                        if wrote[ui] and not d:
+                            created_fast += 1
+                            d = True
+                        s[ln] = d
+                    st.accesses += n_fast
+                    st.hits += n_fast
+                    cache.n_dirty_created += created_fast
+                    if n_slow == 0:
+                        return None, None, None, True
+                    fast_ok = n_slow * 16 <= n
+                    keep = np.flatnonzero(ev_slow)
+                    lines = lines[keep]
+                    flags = flags[keep]
+                    if ins is not None:
+                        ins = ins[keep]
+                        if not ins.any():
+                            ins = None
+        # Sequential replay of the slow-set events. Four specialized
+        # loops (pure-access vs mixed, last vs interior level) keep the
+        # hot one lean; all accumulate counters in locals, flushed once.
         handle = self._handle_eviction
         service = self._service_below
         make_ev = Eviction
         miss = _MISS  # sentinel: probe + LRU-pop in one dict operation
-        hits0 = created0 = evs0 = devs0 = 0
-        acc1 = hits1 = created1 = evs1 = devs1 = 0
-        for addr, w in zip(alist, wlist):
-            s = sets0[addr & mask0]
-            was_dirty = s.pop(addr, miss)
-            if was_dirty is not miss:
-                hits0 += 1
-                if w and not was_dirty:
-                    created0 += 1
-                    s[addr] = True
-                else:
-                    s[addr] = was_dirty
-                continue
-            # First-level miss: write-allocate fill, LRU victim out.
-            if len(s) >= ways0:
-                victim_line, victim_dirty = next(iter(s.items()))
-                del s[victim_line]
-                evs0 += 1
-                s[addr] = w
-                if w:
-                    created0 += 1
-                if victim_dirty:
-                    devs0 += 1
-                    handle(0, make_ev(victim_line, True))
-                elif not deep:
-                    handle(0, make_ev(victim_line, False))
+        out_lines: list = []
+        out_ins: list = []
+        out_flags: list = []
+        ol_append = out_lines.append
+        oi_append = out_ins.append
+        of_append = out_flags.append
+        hits = created = evs = devs = wb = merged = received = 0
+        sl = lines.tolist()
+        fl = flags.tolist()
+        if ins is None:
+            accs = len(sl)
+            if last:
+                for addr, w in zip(sl, fl):
+                    s = sets[addr & mask]
+                    was_dirty = s.pop(addr, miss)
+                    if was_dirty is not miss:
+                        hits += 1
+                        if w and not was_dirty:
+                            created += 1
+                            s[addr] = True
+                        else:
+                            s[addr] = was_dirty
+                        continue
+                    ev = None
+                    if len(s) >= ways:
+                        vl, vd = next(iter(s.items()))
+                        del s[vl]
+                        evs += 1
+                        devs += vd
+                        ev = make_ev(vl, vd)
+                    s[addr] = w
+                    if w:
+                        created += 1
+                    if ev is not None:
+                        handle(i, ev)
+                    service(addr, w)
             else:
-                s[addr] = w
-                if w:
-                    created0 += 1
-            if not deep:
-                service(addr, w)
-                continue
-            # Second level, same inline shape.
-            acc1 += 1
-            s = sets1[addr & mask1]
-            was_dirty = s.pop(addr, miss)
-            if was_dirty is not miss:
-                hits1 += 1
-                if w and not was_dirty:
-                    created1 += 1
-                    s[addr] = True
-                else:
-                    s[addr] = was_dirty
-                continue
-            if len(s) >= ways1:
-                victim_line, victim_dirty = next(iter(s.items()))
-                del s[victim_line]
-                evs1 += 1
-                s[addr] = w
-                if w:
-                    created1 += 1
-                if victim_dirty:
-                    devs1 += 1
-                    handle(1, make_ev(victim_line, True))
-                elif last1:
-                    handle(1, make_ev(victim_line, False))
+                for addr, w in zip(sl, fl):
+                    s = sets[addr & mask]
+                    was_dirty = s.pop(addr, miss)
+                    if was_dirty is not miss:
+                        hits += 1
+                        if w and not was_dirty:
+                            created += 1
+                            s[addr] = True
+                        else:
+                            s[addr] = was_dirty
+                        continue
+                    # Miss: any dirty victim's insert precedes the
+                    # access in the next level's stream, exactly as
+                    # _handle_eviction runs before the walk descends. A
+                    # clean interior victim is dropped (pure fast-path:
+                    # _handle_eviction would fall straight through).
+                    if len(s) >= ways:
+                        vl, vd = next(iter(s.items()))
+                        del s[vl]
+                        evs += 1
+                        if vd:
+                            devs += 1
+                            wb += 1
+                            ol_append(vl)
+                            oi_append(True)
+                            of_append(True)
+                    s[addr] = w
+                    if w:
+                        created += 1
+                    ol_append(addr)
+                    oi_append(False)
+                    of_append(w)
+        else:
+            il = ins.tolist()
+            accs = len(sl) - int(ins.sum())
+            if last:
+                for addr, is_ins, fg in zip(sl, il, fl):
+                    s = sets[addr & mask]
+                    was_dirty = s.pop(addr, miss)
+                    if is_ins:
+                        if was_dirty is not miss:
+                            if was_dirty:
+                                merged += 1
+                            else:
+                                received += 1
+                            s[addr] = True
+                            continue
+                        ev = None
+                        if len(s) >= ways:
+                            vl, vd = next(iter(s.items()))
+                            del s[vl]
+                            evs += 1
+                            devs += vd
+                            ev = make_ev(vl, vd)
+                        s[addr] = True
+                        received += 1
+                        if ev is not None:
+                            handle(i, ev)
+                        continue
+                    if was_dirty is not miss:
+                        hits += 1
+                        if fg and not was_dirty:
+                            created += 1
+                            s[addr] = True
+                        else:
+                            s[addr] = was_dirty
+                        continue
+                    ev = None
+                    if len(s) >= ways:
+                        vl, vd = next(iter(s.items()))
+                        del s[vl]
+                        evs += 1
+                        devs += vd
+                        ev = make_ev(vl, vd)
+                    s[addr] = fg
+                    if fg:
+                        created += 1
+                    if ev is not None:
+                        handle(i, ev)
+                    service(addr, fg)
             else:
-                s[addr] = w
-                if w:
-                    created1 += 1
-            if last1:
-                service(addr, w)
-            else:
-                walk(2, addr, w)
-        n = len(alist)
-        st = stage0.stats
-        misses0 = n - hits0
-        st.accesses += n
-        st.hits += hits0
-        st.misses += misses0
-        st.fills += misses0
-        cache0.n_evictions += evs0
-        cache0.n_dirty_evictions += devs0
-        cache0.n_dirty_created += created0
-        if deep:
-            st = stage1.stats
-            misses1 = acc1 - hits1
-            st.accesses += acc1
-            st.hits += hits1
-            st.misses += misses1
-            st.fills += misses1
-            cache1.n_evictions += evs1
-            cache1.n_dirty_evictions += devs1
-            cache1.n_dirty_created += created1
+                for addr, is_ins, fg in zip(sl, il, fl):
+                    s = sets[addr & mask]
+                    was_dirty = s.pop(addr, miss)
+                    if is_ins:
+                        if was_dirty is not miss:
+                            if was_dirty:
+                                merged += 1
+                            else:
+                                received += 1
+                            s[addr] = True
+                            continue
+                        if len(s) >= ways:
+                            vl, vd = next(iter(s.items()))
+                            del s[vl]
+                            evs += 1
+                            if vd:
+                                devs += 1
+                                wb += 1
+                                ol_append(vl)
+                                oi_append(True)
+                                of_append(True)
+                        s[addr] = True
+                        received += 1
+                        continue
+                    if was_dirty is not miss:
+                        hits += 1
+                        if fg and not was_dirty:
+                            created += 1
+                            s[addr] = True
+                        else:
+                            s[addr] = was_dirty
+                        continue
+                    if len(s) >= ways:
+                        vl, vd = next(iter(s.items()))
+                        del s[vl]
+                        evs += 1
+                        if vd:
+                            devs += 1
+                            wb += 1
+                            ol_append(vl)
+                            oi_append(True)
+                            of_append(True)
+                    s[addr] = fg
+                    if fg:
+                        created += 1
+                    ol_append(addr)
+                    oi_append(False)
+                    of_append(fg)
+        st.accesses += accs
+        st.hits += hits
+        misses = accs - hits
+        st.misses += misses
+        st.fills += misses
+        st.writebacks += wb
+        cache.n_evictions += evs
+        cache.n_dirty_evictions += devs
+        cache.n_dirty_created += created
+        cache.n_dirty_received += received
+        cache.n_dirty_merged += merged
+        if last or not out_lines:
+            return None, None, None, fast_ok
+        nxt_ins = np.array(out_ins, dtype=bool)
+        return (
+            np.array(out_lines, dtype=np.int64),
+            nxt_ins if nxt_ins.any() else None,
+            np.array(out_flags, dtype=bool),
+            fast_ok,
+        )
 
     def _handle_eviction(self, level_idx: int, ev: Eviction | None) -> None:
         if ev is None:
@@ -612,32 +829,55 @@ class Hierarchy:
 def _coerce_chunk(
     addrs: np.ndarray,
     writes: np.ndarray | bool | None,
-) -> tuple[list, list]:
-    """Normalize one (addrs, writes) chunk to plain-Python lists.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and normalize one (addrs, writes) chunk to ndarrays.
 
-    ``tolist()`` materializes native ints/bools once per chunk; the inner
-    loop then runs on exactly the objects the scalar path sees (dict keys
-    hash identically, and per-element ndarray indexing — which boxes a
-    numpy scalar per reference — never happens).
+    Returns ``(int64 line addresses, bool write mask)``. Everything a
+    caller can get wrong is rejected here with a ``ValueError`` naming
+    the offending element (mirroring the mmio parser's line-numbered
+    errors) so a bad trace fails loudly at the boundary instead of
+    corrupting set indexing deep in the replay:
+
+    * 2-D (or 0-D) ``addrs``,
+    * non-integer ``addrs`` dtypes (floats truncate silently),
+    * negative line addresses (``addr & mask`` would alias a valid set),
+    * ``writes`` whose shape does not match ``addrs``,
+    * non-bool / non-integer ``writes`` dtypes.
     """
     arr = np.asarray(addrs)
     if arr.ndim != 1:
-        raise ValueError("addrs must be a 1-D array of line addresses")
+        raise ValueError(
+            f"addrs must be a 1-D array of line addresses, got shape {arr.shape}"
+        )
     if arr.size and not np.issubdtype(arr.dtype, np.integer):
-        raise TypeError(f"addrs must be integer line addresses, got {arr.dtype}")
+        raise ValueError(
+            f"addrs must be integer line addresses, got dtype {arr.dtype}"
+        )
+    arr = arr.astype(np.int64, copy=False)
     n = arr.shape[0]
+    if n and int(arr.min()) < 0:
+        first = int(np.flatnonzero(arr < 0)[0])
+        raise ValueError(
+            f"addrs[{first}] = {int(arr[first])}: "
+            "line addresses must be non-negative"
+        )
     if writes is None:
-        wlist = [False] * n
+        warr = np.zeros(n, dtype=bool)
     elif isinstance(writes, (bool, np.bool_)):
-        wlist = [bool(writes)] * n
+        warr = np.full(n, bool(writes), dtype=bool)
     else:
         warr = np.asarray(writes)
         if warr.shape != arr.shape:
             raise ValueError(
                 f"writes shape {warr.shape} does not match addrs {arr.shape}"
             )
-        wlist = warr.astype(bool).tolist()
-    return arr.tolist(), wlist
+        if warr.dtype != np.bool_:
+            if not np.issubdtype(warr.dtype, np.integer):
+                raise ValueError(
+                    f"writes must be bool (or 0/1 integers), got dtype {warr.dtype}"
+                )
+            warr = warr.astype(bool)
+    return arr, warr
 
 
 # -- builders ---------------------------------------------------------------

@@ -16,7 +16,12 @@ from repro.trace.generator import (
     uniform_random,
     uniform_random_array,
 )
-from repro.trace.reservoir import Reservoir, SampledProfile, sampled_stack_distances
+from repro.trace.reservoir import (
+    Reservoir,
+    SampledProfile,
+    sampled_stack_distances,
+    sampled_stack_distances_stream,
+)
 from repro.trace.stackdist import StackDistanceProfile, stack_distances
 
 __all__ = [
@@ -34,6 +39,7 @@ __all__ = [
     "repeated_sweep",
     "repeated_sweep_array",
     "sampled_stack_distances",
+    "sampled_stack_distances_stream",
     "sequential",
     "sequential_array",
     "stack_distances",

@@ -20,16 +20,25 @@ The harness runs entirely on the batched ndarray pipeline: the zoo's
 hierarchy's :meth:`~repro.memory.hierarchy.Hierarchy.run_array` fast
 path, and the vectorized :func:`~repro.trace.stack_distances` — the same
 numbers as the scalar path (differentially tested), several times faster.
+
+For traces too large to materialize (full-scale kernel and UF-matrix
+runs), :func:`validate_case_streamed` / :func:`validate_kernel_streamed`
+tee a chunk stream into the simulator's batched replay and the
+streaming window sampler (`repro.trace.reservoir`) in a single pass:
+memory stays bounded by one chunk plus one sampling window, and the
+analytic side uses the sampled stack-distance curve
+(``repro validate --sampled`` drives this end to end).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
+from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
 from repro.memory import for_broadwell
+from repro.memory.hierarchy import Hierarchy
 from repro.platforms import MachineSpec, broadwell
 from repro.trace import (
     expand_lines,
@@ -40,6 +49,7 @@ from repro.trace import (
     tiled_2d_array,
     uniform_random_array,
 )
+from repro.trace.reservoir import WindowSampler
 
 #: Scale factor for fast exact simulation of realistic capacity ratios.
 SCALE = 0.001
@@ -87,19 +97,9 @@ def workload_zoo() -> dict[str, Callable[[], tuple[np.ndarray, np.ndarray]]]:
     }
 
 
-def validate_case(
-    name: str,
-    workload: tuple[np.ndarray, np.ndarray],
-    machine: MachineSpec | None = None,
-) -> ValidationCase:
-    """Run one workload through both paths and collect per-level errors."""
-    machine = machine if machine is not None else broadwell()
-    hierarchy = for_broadwell(machine, scale=SCALE)
-    addrs, wr = workload
-    lines, line_writes = expand_lines(addrs, 8, wr)
-    profile = stack_distances(lines)
-    stats = hierarchy.run_array(lines, line_writes)
-    total = stats.total_accesses
+def _level_errors(hierarchy: Hierarchy, profile) -> tuple[LevelError, ...]:
+    """Per-level predicted-vs-simulated hit fractions (cumulative)."""
+    total = hierarchy.stats().total_accesses
     errors = []
     cum_capacity = 0
     cum_hits = 0
@@ -115,7 +115,83 @@ def validate_case(
                 simulated_hit=simulated,
             )
         )
-    return ValidationCase(name=name, levels=tuple(errors))
+    return tuple(errors)
+
+
+def validate_case(
+    name: str,
+    workload: tuple[np.ndarray, np.ndarray],
+    machine: MachineSpec | None = None,
+) -> ValidationCase:
+    """Run one workload through both paths and collect per-level errors."""
+    machine = machine if machine is not None else broadwell()
+    hierarchy = for_broadwell(machine, scale=SCALE)
+    addrs, wr = workload
+    lines, line_writes = expand_lines(addrs, 8, wr)
+    profile = stack_distances(lines)
+    hierarchy.run_array(lines, line_writes)
+    return ValidationCase(name=name, levels=_level_errors(hierarchy, profile))
+
+
+def validate_case_streamed(
+    name: str,
+    chunks: Iterable[tuple[np.ndarray, np.ndarray]],
+    machine: MachineSpec | None = None,
+    *,
+    window: int = 4096,
+    period: int = 4,
+    seed: int = 0,
+    max_distances: int | None = None,
+) -> ValidationCase:
+    """Streamed validation: one pass, bounded memory, sampled curve.
+
+    ``chunks`` yields ``(line_addrs, writes)`` pairs (the
+    ``kernel_trace_chunks`` / ``chunk_arrays`` shape). Each chunk is
+    teed into the exact hierarchy's batched replay AND the systematic
+    window sampler, so the full trace never materializes — the
+    estimator holds one window, the reservoir (if capped) holds
+    ``max_distances`` distances. The analytic side uses the *sampled*
+    stack-distance curve, which is what full-scale sweeps over
+    UF-matrix-sized traces must do anyway.
+    """
+    machine = machine if machine is not None else broadwell()
+    hierarchy = for_broadwell(machine, scale=SCALE)
+    sampler = WindowSampler(window, period, seed, max_distances=max_distances)
+
+    def tee() -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        for la, lw in chunks:
+            sampler.push(np.asarray(la))
+            yield la, lw
+
+    hierarchy.run_batched(tee())
+    profile = sampler.finish()
+    return ValidationCase(name=name, levels=_level_errors(hierarchy, profile))
+
+
+def validate_kernel_streamed(
+    kernel,
+    machine: MachineSpec | None = None,
+    *,
+    reps: int = 1,
+    window: int = 4096,
+    period: int = 4,
+    seed: int = 0,
+    max_distances: int | None = None,
+) -> ValidationCase:
+    """Streamed validation of one instrumented kernel's real trace."""
+    from repro.kernels.traces import kernel_trace_chunks
+
+    machine = machine if machine is not None else broadwell()
+    chunks = kernel_trace_chunks(kernel, reps=reps, line=machine.dram.line)
+    return validate_case_streamed(
+        kernel.name,
+        chunks,
+        machine,
+        window=window,
+        period=period,
+        seed=seed,
+        max_distances=max_distances,
+    )
 
 
 def validate_all(machine: MachineSpec | None = None) -> list[ValidationCase]:

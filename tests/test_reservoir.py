@@ -6,7 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.trace import stack_distances
-from repro.trace.reservoir import Reservoir, sampled_stack_distances
+from repro.trace.reservoir import (
+    Reservoir,
+    sampled_stack_distances,
+    sampled_stack_distances_stream,
+)
 
 
 class TestReservoir:
@@ -105,3 +109,121 @@ class TestSampledStackDistances:
         b = sampled_stack_distances(trace, window=500, period=3, seed=7)
         assert a.n_windows == b.n_windows
         assert a.hit_rate(32) == b.hit_rate(32)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(0, 2000),
+        span=st.integers(1, 200),
+        window=st.integers(2, 300),
+        period=st.integers(1, 6),
+        seed=st.integers(0, 50),
+    )
+    def test_censored_books_close(self, n, span, window, period, seed):
+        """The censored count is exactly the cold count of the merged
+        sample — each reference's cold marker is booked once, never
+        twice (the historical three absorb sites made this unauditable).
+        With period=1 every reference is sampled, so the total equals
+        the trace length and censored_fraction is n_cold/n exactly."""
+        trace = np.random.default_rng(seed).integers(0, span, size=n)
+        prof = sampled_stack_distances(
+            trace, window=window, period=period, seed=seed
+        )
+        assert prof.profile.n_cold == int((prof.profile.distances < 0).sum())
+        total = (
+            prof.profile.n_references
+        )  # all sampled references survive into the merged profile
+        if total:
+            assert prof.censored_fraction == prof.profile.n_cold / total
+        else:
+            assert prof.censored_fraction == 0.0
+        if period == 1 and n:
+            assert total == n
+
+    def test_censored_fraction_matches_exact_on_canonical_streams(self):
+        """period=1 with the window covering the whole trace = the exact
+        computation: same distances, and censored == the exact profile's
+        cold count."""
+        for trace in (
+            [0, 1, 2, 3] * 100,
+            list(range(300)) * 2,
+            np.random.default_rng(2).integers(0, 40, size=1500).tolist(),
+        ):
+            exact = stack_distances(trace)
+            sampled = sampled_stack_distances(
+                trace, window=len(trace), period=1
+            )
+            assert sampled.profile.distances.tolist() == exact.distances.tolist()
+            assert sampled.censored_fraction == pytest.approx(
+                exact.n_cold / exact.n_references
+            )
+
+
+class TestSampledStream:
+    def _chunked(self, arr, sizes):
+        out = []
+        pos = 0
+        for s in sizes:
+            out.append(arr[pos : pos + s])
+            pos += s
+        if pos < arr.size:
+            out.append(arr[pos:])
+        return out
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(0, 3000),
+        span=st.integers(1, 150),
+        window=st.integers(2, 500),
+        period=st.integers(1, 5),
+        seed=st.integers(0, 30),
+        chunk=st.integers(1, 700),
+    )
+    def test_stream_equals_batch(self, n, span, window, period, seed, chunk):
+        """Chunk boundaries are invisible: streaming any chunking of the
+        trace reproduces the single-array estimate exactly."""
+        arr = np.random.default_rng(seed).integers(0, span, size=n)
+        whole = sampled_stack_distances(
+            arr, window=window, period=period, seed=seed
+        )
+        chunks = [arr[i : i + chunk] for i in range(0, n, chunk)]
+        streamed = sampled_stack_distances_stream(
+            chunks, window=window, period=period, seed=seed
+        )
+        assert streamed.n_windows == whole.n_windows
+        assert streamed.censored_fraction == whole.censored_fraction
+        assert (
+            streamed.profile.distances.tolist()
+            == whole.profile.distances.tolist()
+        )
+
+    def test_accepts_addr_write_pairs(self):
+        arr = np.arange(100, dtype=np.int64) % 7
+        pairs = [
+            (arr[:40], np.zeros(40, dtype=bool)),
+            (arr[40:], np.zeros(60, dtype=bool)),
+        ]
+        a = sampled_stack_distances_stream(pairs, window=25, period=1)
+        b = sampled_stack_distances(arr, window=25, period=1)
+        assert a.profile.distances.tolist() == b.profile.distances.tolist()
+
+    def test_reservoir_caps_kept_distances(self):
+        arr = np.random.default_rng(9).integers(0, 64, size=20_000)
+        capped = sampled_stack_distances_stream(
+            [arr], window=1024, period=1, seed=3, max_distances=500
+        )
+        full = sampled_stack_distances(arr, window=1024, period=1, seed=3)
+        assert capped.profile.distances.size == 500
+        # Window accounting is unaffected by the cap...
+        assert capped.n_windows == full.n_windows
+        assert capped.censored_fraction == full.censored_fraction
+        # ...and the subsampled curve tracks the full one.
+        for cap in (16, 64, 256):
+            assert capped.hit_rate(cap) == pytest.approx(
+                full.hit_rate(cap), abs=0.05
+            )
+
+    def test_empty_stream(self):
+        prof = sampled_stack_distances_stream([], window=16, period=2)
+        assert prof.n_windows == 0
+        assert prof.censored_fraction == 0.0
+        assert prof.profile.distances.size == 0

@@ -191,12 +191,35 @@ class TestRunArray:
 
     def test_rejects_bad_input(self):
         h = for_broadwell(broadwell(), scale=SCALE)
-        with pytest.raises(TypeError):
+        with pytest.raises(ValueError, match="dtype float64"):
             h.run_array(np.array([1.5, 2.5]))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="1-D"):
             h.run_array(np.zeros((2, 3), dtype=np.int64))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="writes shape"):
             h.run_array(np.array([1, 2, 3]), np.array([True]))
+
+    def test_rejects_negative_addresses(self):
+        h = for_broadwell(broadwell(), scale=SCALE)
+        with pytest.raises(ValueError, match=r"addrs\[2\] = -7"):
+            h.run_array(np.array([1, 2, -7, 3], dtype=np.int64))
+
+    def test_rejects_float_writes(self):
+        h = for_broadwell(broadwell(), scale=SCALE)
+        with pytest.raises(ValueError, match="writes must be bool"):
+            h.run_array(np.array([1, 2], dtype=np.int64), np.array([0.5, 1.0]))
+
+    def test_integer_writes_accepted(self):
+        h = for_broadwell(broadwell(), scale=SCALE)
+        stats = h.run_array(
+            np.array([1, 2, 3], dtype=np.int64), np.array([0, 1, 0])
+        )
+        assert stats["L1"].accesses == 3
+
+    def test_run_batched_rejects_bad_chunk(self):
+        h = for_broadwell(broadwell(), scale=SCALE)
+        chunks = [(np.array([1, 2], dtype=np.int64), None), (np.array([-1]), None)]
+        with pytest.raises(ValueError, match="non-negative"):
+            h.run_batched(chunks)
 
     @pytest.mark.parametrize("prefetch", [None, "next-line", "stride"])
     @pytest.mark.parametrize("edram", [True, False])
@@ -249,6 +272,106 @@ class TestKernelTraceChunks:
         s = kernel.simulate(scalar_h, reps=2)
         b = kernel.simulate_batched(batched_h, reps=2)
         assert _stats_dict(b) == _stats_dict(s)
+
+    @pytest.mark.parametrize("mode", list(McdramMode))
+    @pytest.mark.parametrize("name", list(kernel_zoo()))
+    def test_simulate_batched_identical_knl_all_modes(self, name, mode):
+        """Full matrix: every kernel, every MCDRAM mode, exact equality."""
+        kernel = kernel_zoo()[name]
+        scalar_h = for_knl(knl(mode), mode, scale=SCALE)
+        batched_h = for_knl(knl(mode), mode, scale=SCALE)
+        s = kernel.simulate(scalar_h, reps=1)
+        b = kernel.simulate_batched(batched_h, reps=1)
+        assert _stats_dict(b) == _stats_dict(s)
+
+    @pytest.mark.parametrize("prefetch", ["next-line", "stride"])
+    @pytest.mark.parametrize("name", list(kernel_zoo()))
+    def test_simulate_batched_identical_with_prefetch(self, name, prefetch):
+        """Prefetch forces the batched path onto its scalar-equivalent
+        fallback; the results must still be identical."""
+        kernel = kernel_zoo()[name]
+        scalar_h = for_broadwell(broadwell(), scale=SCALE, prefetch=prefetch)
+        batched_h = for_broadwell(broadwell(), scale=SCALE, prefetch=prefetch)
+        s = kernel.simulate(scalar_h, reps=1)
+        b = kernel.simulate_batched(batched_h, reps=1)
+        assert _stats_dict(b) == _stats_dict(s)
+
+    @pytest.mark.parametrize("name", list(kernel_zoo()))
+    def test_reps_zero_yields_nothing(self, name):
+        kernel = kernel_zoo()[name]
+        assert list(kernel_trace_chunks(kernel, reps=0)) == []
+        assert list(kernel_trace(kernel, reps=0)) == []
+
+
+class TestFuzzDifferential:
+    """Seeded fuzz: randomized chunk sizes and degenerate shapes must
+    stay byte-identical to the scalar oracle (satellite for the
+    set-bucketed rewrite — the adaptive block splitter must not leak
+    state across arbitrary chunk boundaries)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_chunk_splits(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 6000))
+        span = int(rng.integers(1, 4000))
+        addrs = rng.integers(0, span, size=n).astype(np.int64)
+        writes = rng.random(n) < float(rng.random())
+        scalar = for_broadwell(broadwell(), scale=SCALE)
+        batched = for_broadwell(broadwell(), scale=SCALE)
+        for a, w in zip(addrs.tolist(), writes.tolist()):
+            scalar.access(a, write=w)
+
+        def chunks():
+            pos = 0
+            while pos < n:
+                size = int(rng.integers(1, 900))
+                yield addrs[pos : pos + size], writes[pos : pos + size]
+                pos += size
+                if rng.random() < 0.2:  # interleave empty chunks
+                    yield np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+
+        batched.run_batched(chunks())
+        assert _stats_dict(batched.stats()) == _stats_dict(scalar.stats())
+
+    @pytest.mark.parametrize("seed", [7, 8])
+    @pytest.mark.parametrize("wr", [True, False])
+    def test_scalar_bool_writes_broadcast(self, seed, wr):
+        rng = np.random.default_rng(seed)
+        addrs = rng.integers(0, 2000, size=3000).astype(np.int64)
+        scalar = for_broadwell(broadwell(), scale=SCALE)
+        batched = for_broadwell(broadwell(), scale=SCALE)
+        for a in addrs.tolist():
+            scalar.access(a, write=wr)
+        batched.run_array(addrs, wr)
+        assert _stats_dict(batched.stats()) == _stats_dict(scalar.stats())
+
+    def test_zero_length_only_stream(self):
+        h = for_broadwell(broadwell(), scale=SCALE)
+        empty = np.empty(0, dtype=np.int64)
+        h.run_batched([(empty, None), (empty, np.empty(0, dtype=bool))])
+        assert h.stats().total_accesses == 0
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_random_chunk_splits_knl(self, seed):
+        rng = np.random.default_rng(seed)
+        addrs = rng.integers(0, 3000, size=5000).astype(np.int64)
+        writes = rng.random(5000) < 0.3
+        mode = list(McdramMode)[seed % len(list(McdramMode))]
+        scalar = for_knl(knl(mode), mode, scale=SCALE)
+        batched = for_knl(knl(mode), mode, scale=SCALE)
+        for a, w in zip(addrs.tolist(), writes.tolist()):
+            scalar.access(a, write=w)
+        sizes = []
+        pos = 0
+        while pos < 5000:
+            s = int(rng.integers(1, 1500))
+            sizes.append(s)
+            pos += s
+        pos = 0
+        for s in sizes:
+            batched.run_array(addrs[pos : pos + s], writes[pos : pos + s])
+            pos += s
+        assert _stats_dict(batched.stats()) == _stats_dict(scalar.stats())
 
 
 class TestStackDistanceNdarray:
