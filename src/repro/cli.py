@@ -368,6 +368,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo-p99-ms", type=float, default=250.0, metavar="MS",
         help="advise-route p99 budget asserted by the verdict (default 250)",
     )
+    energyp = sub.add_parser(
+        "energy",
+        help="price kernels on the per-level energy ledger "
+        "(per-level breakdown + energy/time Pareto table)",
+    )
+    energyp.add_argument(
+        "--kernel",
+        default="all",
+        choices=(
+            "all", "stream", "gemm", "cholesky", "spmv",
+            "sptrans", "sptrsv", "stencil", "fft",
+        ),
+        help="one kernel, or 'all' for the full suite (default all)",
+    )
+    energyp.add_argument(
+        "--platform",
+        default="all",
+        choices=("all", "broadwell", "knl"),
+        help="restrict the configuration sweep (default all)",
+    )
+    energyp.add_argument(
+        "--format",
+        default="text",
+        choices=("text", "json"),
+        help="output format (default text)",
+    )
+    energyp.add_argument(
+        "--scale",
+        type=float,
+        default=0.001,
+        metavar="X",
+        help="capacity scale factor for the simulated hierarchies "
+        "(default 0.001, the conservation-test scale)",
+    )
+    energyp.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trace repetitions per run (default 1)",
+    )
     from repro.audit.cli import add_audit_parser
 
     add_audit_parser(sub)
@@ -645,6 +686,108 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_energy(args: argparse.Namespace) -> int:
+    """Price kernels on the energy ledger; non-zero exit on violations."""
+    import json
+
+    from repro.experiments.results import DataTable
+    from repro.power.ledger import (
+        ENERGY_CONFIGS,
+        demo_kernel,
+        pareto_front,
+        price_config,
+    )
+
+    kernel_names = (
+        ["stream", "gemm", "cholesky", "spmv", "sptrans", "sptrsv",
+         "stencil", "fft"]
+        if args.kernel == "all"
+        else [args.kernel]
+    )
+    configs = [
+        (platform, mode)
+        for platform, mode in ENERGY_CONFIGS
+        if args.platform in ("all", platform)
+    ]
+    payload = []
+    violations: list[str] = []
+    for name in kernel_names:
+        runs = [
+            price_config(
+                demo_kernel(name), platform, mode,
+                scale=args.scale, reps=args.reps,
+            )
+            for platform, mode in configs
+        ]
+        flags = pareto_front(runs)
+        platform_flags: list[bool] = [False] * len(runs)
+        for platform in ("broadwell", "knl"):
+            sub = [(i, r) for i, r in enumerate(runs) if r.platform == platform]
+            for (i, _), flag in zip(sub, pareto_front([r for _, r in sub])):
+                platform_flags[i] = flag
+        for run_ in runs:
+            violations.extend(
+                f"{name} {run_.platform}/{run_.mode}: {v}"
+                for v in run_.ledger.conservation_violations()
+            )
+        payload.append(
+            {
+                "kernel": name,
+                "runs": [
+                    {
+                        **run_.as_dict(),
+                        "ledger": run_.ledger.as_dict(),
+                        "pareto": flag,
+                        "platform_pareto": pflag,
+                    }
+                    for run_, flag, pflag in zip(runs, flags, platform_flags)
+                ],
+            }
+        )
+        if args.format == "text":
+            level_rows = [
+                (f"{r.platform}/{r.mode}", lv.name, lv.hits, lv.misses,
+                 lv.fills, lv.writebacks, lv.dynamic_j)
+                for r in runs
+                for lv in r.ledger.levels
+            ]
+            print(f"== {name} ==")
+            print(
+                DataTable(
+                    "levels",
+                    ("config", "level", "hits", "misses", "fills",
+                     "writebacks", "dynamic_j"),
+                    level_rows,
+                ).render(max_rows=len(level_rows))
+            )
+            pareto_rows = [
+                (f"{r.platform}/{r.mode}", r.seconds, r.energy_j, r.edp_js,
+                 r.gflops_per_watt,
+                 "*" if f else "", "*" if pf else "")
+                for r, f, pf in zip(runs, flags, platform_flags)
+            ]
+            print(
+                DataTable(
+                    "pareto",
+                    ("config", "seconds", "energy_j", "edp_js",
+                     "gflops_per_watt", "pareto", "platform_pareto"),
+                    pareto_rows,
+                ).render()
+            )
+            print()
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"kernels": payload, "violations": violations}, indent=2
+            )
+        )
+    if violations:
+        for violation in violations:
+            print(f"CONSERVATION VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -728,6 +871,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_serve(args)
     if args.command == "serve-bench":
         return _cmd_serve_bench(args)
+    if args.command == "energy":
+        return _cmd_energy(args)
     if args.command == "audit":
         from repro.audit.cli import main as audit_main
 

@@ -7,12 +7,10 @@ use can *reduce* DDR (and sometimes total) power by absorbing traffic.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.engine.exectime import estimate
 from repro.experiments.registry import register
 from repro.experiments.results import ExperimentResult
-from repro.experiments.sweeps import representative_kernels
+from repro.experiments.sweeps import geomean, representative_kernels
 from repro.platforms import McdramMode, knl
 from repro.power import measure
 from repro.viz import bar_chart
@@ -54,18 +52,18 @@ def run(quick: bool = True) -> ExperimentResult:
                 s_flat.total_w / s_ddr.total_w - 1.0,
             )
         )
-    def gm(xs):
-        return float(np.exp(np.mean(np.log(np.maximum(xs, 1e-9)))))
-
+    # Same discipline as fig26: shared geomean, loud on non-positive
+    # inputs, and one statistic quoted everywhere.
+    gm_increase = geomean([r[5] + 1.0 for r in rows]) - 1.0
     rows.append(
-        ("GM", gm(pkg_off), gm(pkg_on), gm(dram_off), gm(dram_on),
-         gm([r[5] + 1.0 for r in rows]) - 1.0)
+        ("GM", geomean(pkg_off), geomean(pkg_on), geomean(dram_off),
+         geomean(dram_on), gm_increase)
     )
     labels.append("GM")
-    pkg_on.append(gm(pkg_on))
-    pkg_off.append(gm(pkg_off))
-    dram_on.append(gm(dram_on))
-    dram_off.append(gm(dram_off))
+    pkg_on.append(geomean(pkg_on))
+    pkg_off.append(geomean(pkg_off))
+    dram_on.append(geomean(dram_on))
+    dram_off.append(geomean(dram_off))
     result.add_table(
         "power",
         ("kernel", "package_w/o", "package_w/", "ddr_w/o", "ddr_w/",
@@ -89,5 +87,9 @@ def run(quick: bool = True) -> ExperimentResult:
         f"MCDRAM flat mode reduces DDR power on {ddr_drops} of "
         f"{len(rows) - 1} kernels by absorbing DRAM traffic (paper's "
         "GEMM/Cholesky/SpTRANS/FFT observation)."
+    )
+    result.notes.append(
+        f"Using MCDRAM raises total power by {gm_increase:.1%} "
+        "(geometric mean across kernels; paper: ~6.9% for flat mode)."
     )
     return result

@@ -96,6 +96,7 @@ _EXPERIMENT_MODULES = [
     "repro.experiments.ext05_syncfree",
     "repro.experiments.ext06_virtualization",
     "repro.experiments.ext07_cluster_modes",
+    "repro.experiments.ext08_energy_pareto",
 ]
 
 

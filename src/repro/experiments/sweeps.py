@@ -194,6 +194,26 @@ def summarize(
     )
 
 
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, failing loudly on non-positive inputs.
+
+    The power figures' "GM" rows used to clamp values at 1e-9 before
+    taking logs, which silently turned a zero or negative ratio — always
+    a bug upstream — into a wildly wrong mean. Watts and power ratios
+    are positive by construction, so reject anything that is not.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("geomean: empty sequence")
+    if not np.all(arr > 0):
+        first = int(np.flatnonzero(arr <= 0)[0])
+        raise ValueError(
+            f"geomean: values[{first}] = {arr[first]}: "
+            "geometric mean requires positive values"
+        )
+    return float(np.exp(np.mean(np.log(arr))))
+
+
 def representative_kernels(
     platform: str,
 ) -> dict[str, Callable[[], Kernel]]:

@@ -8,11 +8,40 @@ behaves as a CPU-side non-inclusive victim cache with latency *below* DDR.
 
 from __future__ import annotations
 
-from repro.platforms.spec import GIB, KIB, MIB, MachineSpec, MemLevelSpec, OpmSpec
+from repro.platforms.spec import (
+    GIB,
+    KIB,
+    MIB,
+    EnergyCoefficients,
+    MachineSpec,
+    MemLevelSpec,
+    OpmSpec,
+)
 from repro.platforms.tuning import EdramMode
 
 #: eDRAM average extra power when enabled (paper Section 5.2: +5.6 W).
 EDRAM_STATIC_POWER_W = 1.0  # OPIO interface budget: "104 GB/s at one watt"
+
+#: eDRAM activity power at full bandwidth utilization.
+EDRAM_ACTIVE_W = 5.0
+
+#: DRAM domain coefficients (standby watts, watts per GB/s of traffic).
+DRAM_STANDBY_W = 1.8
+DRAM_W_PER_GBS = 0.09
+
+#: Per-line dynamic energy, in pJ per 64-byte line. SRAM levels scale
+#: with distance from the core; eDRAM sits between SRAM and DDR; DDR3
+#: accesses dominated by the off-package I/O energy (~20 pJ/bit row
+#: energy amortized per line).
+L1_ENERGY = EnergyCoefficients(hit_pj=15.0, miss_pj=4.0, fill_pj=20.0, writeback_pj=20.0)
+L2_ENERGY = EnergyCoefficients(hit_pj=45.0, miss_pj=10.0, fill_pj=55.0, writeback_pj=55.0)
+L3_ENERGY = EnergyCoefficients(hit_pj=120.0, miss_pj=25.0, fill_pj=140.0, writeback_pj=140.0)
+EDRAM_ENERGY = EnergyCoefficients(
+    hit_pj=450.0, miss_pj=60.0, fill_pj=500.0, writeback_pj=500.0
+)
+DDR3_ENERGY = EnergyCoefficients(
+    hit_pj=2100.0, miss_pj=0.0, fill_pj=2100.0, writeback_pj=2300.0
+)
 
 #: Paper Table 3 figures.
 CORES = 4
@@ -35,9 +64,11 @@ def edram_spec(
         bandwidth=EDRAM_BW,
         latency=42.0,  # below DDR3 (~60 ns): paper Section 2.3 (b)
         ways=16,
+        energy=EDRAM_ENERGY,
         kind="victim-cache",
         static_power_w=EDRAM_STATIC_POWER_W,
         can_power_off=True,
+        active_power_w=EDRAM_ACTIVE_W,
     )
     if capacity_x != 1.0 or bandwidth_x != 1.0:
         scaled = base.scaled(capacity_x=capacity_x, bandwidth_x=bandwidth_x)
@@ -47,9 +78,11 @@ def edram_spec(
             bandwidth=scaled.bandwidth,
             latency=base.latency,
             ways=base.ways,
+            energy=base.energy,
             kind=base.kind,
             static_power_w=base.static_power_w,
             can_power_off=base.can_power_off,
+            active_power_w=base.active_power_w,
         )
     return base
 
@@ -93,6 +126,7 @@ def broadwell(
                 latency=1.1,
                 ways=8,
                 shared=False,
+                energy=L1_ENERGY,
             ),
             MemLevelSpec(
                 name="L2",
@@ -101,6 +135,7 @@ def broadwell(
                 latency=3.2,
                 ways=8,
                 shared=False,
+                energy=L2_ENERGY,
             ),
             MemLevelSpec(
                 name="L3",
@@ -109,6 +144,7 @@ def broadwell(
                 latency=12.0,
                 ways=12,
                 shared=True,
+                energy=L3_ENERGY,
             ),
         ),
         opm=opm,
@@ -118,9 +154,12 @@ def broadwell(
             bandwidth=DDR_BW,
             latency=60.0,
             ways=None,
+            energy=DDR3_ENERGY,
         ),
         base_package_power_w=14.0,
         max_dynamic_power_w=51.0,
+        dram_standby_w=DRAM_STANDBY_W,
+        dram_w_per_gbs=DRAM_W_PER_GBS,
     )
     from repro import telemetry
 

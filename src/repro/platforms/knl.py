@@ -11,12 +11,41 @@ it only wins when bandwidth demand is high.
 
 from __future__ import annotations
 
-from repro.platforms.spec import GIB, KIB, MIB, MachineSpec, MemLevelSpec, OpmSpec
+from repro.platforms.spec import (
+    GIB,
+    KIB,
+    MIB,
+    EnergyCoefficients,
+    MachineSpec,
+    MemLevelSpec,
+    OpmSpec,
+)
 from repro.platforms.tuning import McdramMode
 
 #: MCDRAM cannot be powered down; it draws static power in every mode
 #: (paper Section 5.2: flat mode adds ~9.8 W average across kernels).
 MCDRAM_STATIC_POWER_W = 4.0
+
+#: MCDRAM activity power at full bandwidth utilization.
+MCDRAM_ACTIVE_W = 12.0
+
+#: DRAM domain coefficients (standby watts, watts per GB/s of traffic).
+DRAM_STANDBY_W = 6.0
+DRAM_W_PER_GBS = 0.06
+
+#: Per-line dynamic energy (pJ per 64-byte line). MCDRAM's stacked DRAM
+#: moves a line for roughly a third of DDR4's per-bit energy, but its
+#: direct-mapped cache mode pays a real miss cost: every conflict probe
+#: reads the aliased line's tag/data before going to DDR — the
+#: conflict-inflated traffic of paper Section 2.2 (i).
+L1_ENERGY = EnergyCoefficients(hit_pj=18.0, miss_pj=5.0, fill_pj=24.0, writeback_pj=24.0)
+L2_ENERGY = EnergyCoefficients(hit_pj=80.0, miss_pj=18.0, fill_pj=95.0, writeback_pj=95.0)
+MCDRAM_ENERGY = EnergyCoefficients(
+    hit_pj=750.0, miss_pj=250.0, fill_pj=800.0, writeback_pj=800.0
+)
+DDR4_ENERGY = EnergyCoefficients(
+    hit_pj=1900.0, miss_pj=0.0, fill_pj=1900.0, writeback_pj=2100.0
+)
 
 #: Paper Table 3 figures (SP/DP corrected; see module docstring).
 CORES = 64
@@ -38,9 +67,11 @@ def mcdram_spec() -> OpmSpec:
         # Above DDR4 (~130 ns) at low load — paper Sections 2.2 / 4.2.2.
         latency=155.0,
         ways=1,  # direct-mapped in cache mode (paper Section 2.2 (i))
+        energy=MCDRAM_ENERGY,
         kind="memory-side",
         static_power_w=MCDRAM_STATIC_POWER_W,
         can_power_off=False,
+        active_power_w=MCDRAM_ACTIVE_W,
     )
 
 
@@ -70,6 +101,7 @@ def knl(mode: McdramMode = McdramMode.CACHE) -> MachineSpec:
                 latency=2.0,
                 ways=8,
                 shared=False,
+                energy=L1_ENERGY,
             ),
             # 1 MB per two-core tile, 32 MB chip-wide: the KNL LLC.
             MemLevelSpec(
@@ -79,6 +111,7 @@ def knl(mode: McdramMode = McdramMode.CACHE) -> MachineSpec:
                 latency=16.0,
                 ways=16,
                 shared=False,
+                energy=L2_ENERGY,
             ),
         ),
         opm=mcdram_spec(),
@@ -88,9 +121,12 @@ def knl(mode: McdramMode = McdramMode.CACHE) -> MachineSpec:
             bandwidth=DDR_BW,
             latency=130.0,
             ways=None,
+            energy=DDR4_ENERGY,
         ),
         base_package_power_w=70.0,
         max_dynamic_power_w=145.0,
+        dram_standby_w=DRAM_STANDBY_W,
+        dram_w_per_gbs=DRAM_W_PER_GBS,
     )
     from repro import telemetry
 

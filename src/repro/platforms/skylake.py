@@ -15,7 +15,35 @@ MCDRAM, it acts purely as a DRAM cache (no flat/hybrid modes).
 
 from __future__ import annotations
 
-from repro.platforms.spec import GIB, KIB, MIB, MachineSpec, MemLevelSpec, OpmSpec
+from repro.platforms.spec import (
+    GIB,
+    KIB,
+    MIB,
+    EnergyCoefficients,
+    MachineSpec,
+    MemLevelSpec,
+    OpmSpec,
+)
+
+#: DRAM domain coefficients. Declared explicitly: before the power model
+#: required them, Skylake silently inherited Broadwell-ish defaults.
+DRAM_STANDBY_W = 1.6
+DRAM_W_PER_GBS = 0.08
+
+#: eDRAM activity power at full bandwidth utilization (same OPIO
+#: generation as Broadwell's part).
+EDRAM_ACTIVE_W = 5.0
+
+#: Per-line dynamic energy (pJ per 64-byte line).
+L1_ENERGY = EnergyCoefficients(hit_pj=14.0, miss_pj=4.0, fill_pj=19.0, writeback_pj=19.0)
+L2_ENERGY = EnergyCoefficients(hit_pj=42.0, miss_pj=9.0, fill_pj=52.0, writeback_pj=52.0)
+L3_ENERGY = EnergyCoefficients(hit_pj=115.0, miss_pj=24.0, fill_pj=135.0, writeback_pj=135.0)
+EDRAM_ENERGY = EnergyCoefficients(
+    hit_pj=470.0, miss_pj=65.0, fill_pj=520.0, writeback_pj=520.0
+)
+DDR4_ENERGY = EnergyCoefficients(
+    hit_pj=1750.0, miss_pj=0.0, fill_pj=1750.0, writeback_pj=1950.0
+)
 
 CORES = 4
 FREQ_GHZ = 3.5
@@ -40,9 +68,11 @@ def skylake_edram_spec() -> OpmSpec:
         bandwidth=EDRAM_BW,
         latency=58.0,  # ~DDR4 latency: memory-side placement
         ways=16,
+        energy=EDRAM_ENERGY,
         kind="memory-side",
         static_power_w=1.0,
         can_power_off=True,
+        active_power_w=EDRAM_ACTIVE_W,
     )
 
 
@@ -63,6 +93,7 @@ def skylake(edram: bool = True) -> MachineSpec:
                 latency=1.1,
                 ways=8,
                 shared=False,
+                energy=L1_ENERGY,
             ),
             MemLevelSpec(
                 name="L2",
@@ -71,6 +102,7 @@ def skylake(edram: bool = True) -> MachineSpec:
                 latency=3.0,
                 ways=4,
                 shared=False,
+                energy=L2_ENERGY,
             ),
             MemLevelSpec(
                 name="L3",
@@ -79,6 +111,7 @@ def skylake(edram: bool = True) -> MachineSpec:
                 latency=11.0,
                 ways=12,
                 shared=True,
+                energy=L3_ENERGY,
             ),
         ),
         opm=skylake_edram_spec() if edram else None,
@@ -88,7 +121,10 @@ def skylake(edram: bool = True) -> MachineSpec:
             bandwidth=DDR_BW,
             latency=58.0,
             ways=None,
+            energy=DDR4_ENERGY,
         ),
         base_package_power_w=13.0,
         max_dynamic_power_w=45.0,
+        dram_standby_w=DRAM_STANDBY_W,
+        dram_w_per_gbs=DRAM_W_PER_GBS,
     )

@@ -26,6 +26,51 @@ WORD_BYTES = 8
 
 
 @dataclasses.dataclass(frozen=True)
+class EnergyCoefficients:
+    """Per-access dynamic energy of one memory level, in picojoules.
+
+    The four line items mirror the trace simulator's per-level counters
+    (:class:`repro.memory.stats.LevelStats`), so a simulated run prices
+    out to joules level by level:
+
+    * ``hit_pj`` — servicing one line hit at this level;
+    * ``miss_pj`` — one probe that missed (tag check, and for a
+      direct-mapped memory-side cache the conflict-inflated traffic of
+      reading the aliased line's tag/data);
+    * ``fill_pj`` — installing one line from below;
+    * ``writeback_pj`` — pushing one dirty line out of this level.
+
+    All values are per cache line (64 bytes on both platforms).
+    """
+
+    hit_pj: float
+    miss_pj: float
+    fill_pj: float
+    writeback_pj: float
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value < 0:
+                raise ValueError(
+                    f"{field.name} = {value}: energy coefficients "
+                    "must be non-negative"
+                )
+
+    def price(
+        self, *, hits: int = 0, misses: int = 0, fills: int = 0,
+        writebacks: int = 0,
+    ) -> float:
+        """Joules for a counter bundle (1 pJ = 1e-12 J)."""
+        return 1e-12 * (
+            hits * self.hit_pj
+            + misses * self.miss_pj
+            + fills * self.fill_pj
+            + writebacks * self.writeback_pj
+        )
+
+
+@dataclasses.dataclass(frozen=True)
 class MemLevelSpec:
     """One level of the memory hierarchy.
 
@@ -51,6 +96,11 @@ class MemLevelSpec:
         Whether the level is shared by all cores (True) or per-core
         (False). Per-core levels expose ``capacity`` already multiplied by
         the core count; ``per_core_capacity`` recovers the slice.
+    energy:
+        Per-access dynamic energy coefficients (pJ per line), consumed
+        by :mod:`repro.power.ledger`. ``None`` means the platform has
+        not declared them; pricing such a level raises instead of
+        silently assuming a default.
     """
 
     name: str
@@ -60,6 +110,7 @@ class MemLevelSpec:
     ways: int | None = None
     line: int = LINE_BYTES
     shared: bool = True
+    energy: EnergyCoefficients | None = None
 
     def __post_init__(self) -> None:
         if self.capacity is not None and self.capacity <= 0:
@@ -104,6 +155,9 @@ class OpmSpec(MemLevelSpec):
     #: Whether the part allows physically powering the OPM down (eDRAM can
     #: be disabled in BIOS; MCDRAM cannot — paper Section 5.2).
     can_power_off: bool = True
+    #: Activity power in watts at full bandwidth utilization, on top of
+    #: ``static_power_w`` (the :mod:`repro.power` package-domain term).
+    active_power_w: float = 0.0
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -129,6 +183,11 @@ class MachineSpec:
     base_package_power_w: float = 15.0
     #: Peak dynamic package power at full FLOP throughput (watts).
     max_dynamic_power_w: float = 40.0
+    #: DRAM-domain power coefficients: standby watts plus watts per GB/s
+    #: of DRAM traffic. ``None`` means undeclared — the power model
+    #: refuses to price the platform rather than guessing defaults.
+    dram_standby_w: float | None = None
+    dram_w_per_gbs: float | None = None
 
     def __post_init__(self) -> None:
         if self.cores <= 0:

@@ -1,4 +1,5 @@
-"""Power and energy modelling (RAPL-style domains, Eq. (1) breakeven)."""
+"""Power and energy modelling (RAPL-style domains, Eq. (1) breakeven,
+per-level energy ledgers)."""
 
 from repro.power.energy import (
     EnergyComparison,
@@ -7,14 +8,36 @@ from repro.power.energy import (
     energy_delay_product,
     energy_ratio,
 )
+from repro.power.ledger import (
+    ENERGY_CONFIGS,
+    EnergyLedger,
+    LevelEnergy,
+    PricedRun,
+    build_config,
+    demo_kernel,
+    ledger_from_hierarchy,
+    pareto_front,
+    price_config,
+    price_run,
+)
 from repro.power.rapl import PowerSample, measure
 
 __all__ = [
+    "ENERGY_CONFIGS",
     "EnergyComparison",
+    "EnergyLedger",
+    "LevelEnergy",
     "PowerSample",
+    "PricedRun",
     "breakeven_gain",
+    "build_config",
     "compare",
+    "demo_kernel",
     "energy_delay_product",
     "energy_ratio",
+    "ledger_from_hierarchy",
     "measure",
+    "pareto_front",
+    "price_config",
+    "price_run",
 ]

@@ -46,9 +46,26 @@ def breakeven_gain(power_increase: float) -> float:
 def compare(
     with_opm: PowerSample, without_opm: PowerSample
 ) -> EnergyComparison:
-    """Build the Eq. (1) comparison from two modelled runs."""
+    """Build the Eq. (1) comparison from two modelled runs.
+
+    Degenerate samples (zero duration or zero power — and hence zero
+    energy) cannot form the equation's ratios; they are rejected with a
+    :class:`ValueError` naming the offending field instead of surfacing
+    as a bare ``ZeroDivisionError`` from deep inside the arithmetic.
+    """
     if with_opm.kernel != without_opm.kernel:
         raise ValueError("samples must be of the same kernel")
+    for label, sample in (("with_opm", with_opm), ("without_opm", without_opm)):
+        if sample.seconds <= 0:
+            raise ValueError(
+                f"{label}.seconds = {sample.seconds}: "
+                "sample duration must be positive to form Eq. (1) ratios"
+            )
+        if sample.total_w <= 0:
+            raise ValueError(
+                f"{label}.total_w = {sample.total_w}: "
+                "sample power must be positive to form Eq. (1) ratios"
+            )
     perf_gain = without_opm.seconds / with_opm.seconds - 1.0
     power_increase = with_opm.total_w / without_opm.total_w - 1.0
     return EnergyComparison(

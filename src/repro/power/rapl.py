@@ -8,10 +8,17 @@ same two domains from quantities the execution engine already produces:
   is powered — eDRAM can be physically disabled in BIOS (no static draw
   when off), MCDRAM cannot (its static power is burned even in the
   "w/o MCDRAM" configuration) — plus an activity term proportional to its
-  bandwidth utilization.
+  bandwidth utilization (``OpmSpec.active_power_w``).
 * **DRAM** = standby + a per-GB/s activity term. Using the OPM *reduces*
   DRAM power by absorbing traffic, which is how the paper's Figure 27
   shows flat-mode MCDRAM sometimes lowering DDR (and even total) power.
+
+Every coefficient lives on the platform spec
+(:class:`~repro.platforms.spec.MachineSpec` for the DRAM domain,
+:class:`~repro.platforms.spec.OpmSpec` for the OPM terms). A platform
+that has not declared its DRAM coefficients fails loudly here — the old
+behaviour of silently assuming Broadwell-ish defaults gave wrong power
+for any new machine without any signal.
 """
 
 from __future__ import annotations
@@ -20,14 +27,6 @@ import dataclasses
 
 from repro.engine.exectime import RunResult
 from repro.platforms.spec import MachineSpec
-
-#: OPM activity power at full bandwidth utilization (watts).
-EDRAM_ACTIVE_W = 5.0
-MCDRAM_ACTIVE_W = 12.0
-
-#: DRAM domain: standby plus per-GB/s activity.
-DRAM_STANDBY_W = {"Broadwell": 1.8, "Knights Landing": 6.0}
-DRAM_W_PER_GBS = {"Broadwell": 0.09, "Knights Landing": 0.06}
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,6 +48,18 @@ class PowerSample:
         return self.total_w * self.seconds
 
 
+def _dram_coefficients(machine: MachineSpec) -> tuple[float, float]:
+    """The machine's declared (standby W, W per GB/s) pair, or raise."""
+    if machine.dram_standby_w is None or machine.dram_w_per_gbs is None:
+        raise ValueError(
+            f"machine {machine.name!r} (arch {machine.arch!r}) declares no "
+            "DRAM power coefficients: set dram_standby_w and dram_w_per_gbs "
+            "on its MachineSpec (the bundled broadwell/knl/skylake models "
+            "declare them; there are no implicit defaults)"
+        )
+    return machine.dram_standby_w, machine.dram_w_per_gbs
+
+
 def measure(
     result: RunResult,
     machine: MachineSpec,
@@ -64,6 +75,7 @@ def measure(
     """
     if achieved_fraction is None:
         achieved_fraction = min(1.0, result.gflops / machine.dp_peak_gflops)
+    standby_w, w_per_gbs = _dram_coefficients(machine)
     package = (
         machine.base_package_power_w
         + machine.max_dynamic_power_w * achieved_fraction
@@ -74,18 +86,11 @@ def measure(
             result.opm_bytes / result.seconds / 1e9 if result.seconds > 0 else 0.0
         )
         utilization = min(1.0, opm_rate_gbs / machine.opm.bandwidth)
-        active = (
-            EDRAM_ACTIVE_W
-            if machine.opm.kind == "victim-cache"
-            else MCDRAM_ACTIVE_W
-        )
-        package += active * utilization
+        package += machine.opm.active_power_w * utilization
     dram_rate_gbs = (
         result.dram_bytes / result.seconds / 1e9 if result.seconds > 0 else 0.0
     )
-    dram = DRAM_STANDBY_W.get(machine.arch, 2.0) + DRAM_W_PER_GBS.get(
-        machine.arch, 0.08
-    ) * min(dram_rate_gbs, machine.dram.bandwidth)
+    dram = standby_w + w_per_gbs * min(dram_rate_gbs, machine.dram.bandwidth)
     return PowerSample(
         kernel=result.kernel,
         machine=machine.name,

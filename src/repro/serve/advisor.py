@@ -3,8 +3,11 @@
 This module is the *entire* decision logic of the serve subsystem: given
 a kernel, a problem size, and a set of candidate ``platform/mode``
 configurations, rank the candidates by the analytic engine's predicted
-execution time. The HTTP layer, the batcher, and the worker pool are
-pure transport around :func:`evaluate` — a served answer must be
+execution time — or, with ``objective: "energy"``, by modelled
+energy-to-solution (power sample x predicted seconds).
+
+The HTTP layer, the batcher, and the worker pool are pure transport
+around :func:`evaluate` — a served answer must be
 byte-identical to calling :func:`evaluate` offline on the same
 normalized query (the differential tests enforce this), so the serve
 layer can cache and coalesce aggressively without ever changing numbers.
@@ -38,12 +41,17 @@ from repro.kernels import (
 )
 from repro.platforms import McdramMode, broadwell, knl, skylake
 from repro.platforms.spec import MachineSpec
+from repro.power import PowerSample, measure
 from repro.sparse import descriptors, generators
 from repro.telemetry import names as tm
 
 #: Bump when the advise payload layout changes; cached answers from
-#: older schemas read as misses.
-ADVISE_SCHEMA_VERSION = 1
+#: older schemas read as misses. v2: per-candidate power_w/energy_j and
+#: the ``objective`` knob (rank by time or energy-to-solution).
+ADVISE_SCHEMA_VERSION = 2
+
+#: objective name -> the candidate-row metric it minimizes.
+OBJECTIVES: dict[str, str] = {"time": "seconds", "energy": "energy_j"}
 
 #: Guard rails on problem sizes: the advisor is analytic, but absurd
 #: inputs should fail fast with a clear message instead of overflowing.
@@ -73,6 +81,15 @@ def _machine_for(platform: str, mode: str) -> tuple[MachineSpec, dict]:
         return skylake(edram=mode == "on"), {"edram": mode == "on"}
     m = McdramMode(mode)
     return knl(m), {"mcdram": m}
+
+
+def _opm_powered(platform: str, mode: str) -> bool:
+    """Whether the OPM draws static power in this configuration.
+
+    eDRAM can be disabled in BIOS (no draw when off); MCDRAM cannot be
+    powered down, so every KNL mode pays its static power (paper 5.2).
+    """
+    return not (platform in ("broadwell", "skylake") and mode == "off")
 
 
 def default_candidates() -> list[dict[str, str]]:
@@ -263,9 +280,15 @@ def normalize(payload: Any) -> dict[str, Any]:
     """
     if not isinstance(payload, Mapping):
         raise QueryError("request body must be a JSON object")
-    unknown = set(payload) - {"kernel", "params", "candidates"}
+    unknown = set(payload) - {"kernel", "params", "candidates", "objective"}
     if unknown:
         raise QueryError(f"unknown fields: {', '.join(sorted(unknown))}")
+    objective = payload.get("objective", "time")
+    if objective not in OBJECTIVES:
+        raise QueryError(
+            f"unknown objective {objective!r}; "
+            f"choose from {', '.join(OBJECTIVES)}"
+        )
     kernel = payload.get("kernel")
     if kernel not in KERNEL_BUILDERS:
         raise QueryError(
@@ -288,6 +311,7 @@ def normalize(payload: Any) -> dict[str, Any]:
         "kernel": kernel,
         "params": {k: params[k] for k in sorted(params)},
         "candidates": _normalize_candidates(payload.get("candidates")),
+        "objective": objective,
     }
 
 
@@ -311,7 +335,7 @@ def query_key(canonical: Mapping[str, Any]) -> str:
 
 
 def _candidate_row(
-    label: dict[str, str], result: RunResult
+    label: dict[str, str], result: RunResult, sample: PowerSample
 ) -> dict[str, Any]:
     return {
         "platform": label["platform"],
@@ -322,6 +346,8 @@ def _candidate_row(
         "bound": result.bound,
         "opm_bytes": result.opm_bytes,
         "dram_bytes": result.dram_bytes,
+        "power_w": sample.total_w,
+        "energy_j": sample.energy_j,
     }
 
 
@@ -335,6 +361,8 @@ def evaluate(canonical: Mapping[str, Any]) -> dict[str, Any]:
     """
     kernel = build_kernel(canonical["kernel"], canonical["params"])
     candidates = canonical["candidates"]
+    objective = canonical.get("objective", "time")
+    metric = OBJECTIVES[objective]
     with telemetry.span(
         tm.SPAN_SERVE_ADVISE,
         kernel=canonical["kernel"],
@@ -344,28 +372,36 @@ def evaluate(canonical: Mapping[str, Any]) -> dict[str, Any]:
         rows = []
         for cand in candidates:
             machine, kwargs = _machine_for(cand["platform"], cand["mode"])
-            rows.append(_candidate_row(cand, estimate(profile, machine, **kwargs)))
+            result = estimate(profile, machine, **kwargs)
+            sample = measure(
+                result,
+                machine,
+                opm_powered=_opm_powered(cand["platform"], cand["mode"]),
+            )
+            rows.append(_candidate_row(cand, result, sample))
     telemetry.counter(tm.METRIC_SERVE_ENGINE_EXECUTIONS).inc()
-    ranked = sorted(rows, key=lambda r: (r["seconds"], r["platform"], r["mode"]))
-    worst = ranked[-1]["seconds"]
-    best = ranked[0]["seconds"]
+    ranked = sorted(rows, key=lambda r: (r[metric], r["platform"], r["mode"]))
+    worst = ranked[-1][metric]
+    best = ranked[0][metric]
     for rank, row in enumerate(ranked, start=1):
         row["rank"] = rank
         row["speedup_vs_worst"] = (
-            worst / row["seconds"] if row["seconds"] > 0 else 0.0
+            worst / row[metric] if row[metric] > 0 else 0.0
         )
         row["slowdown_vs_best"] = (
-            row["seconds"] / best if best > 0 else 0.0
+            row[metric] / best if best > 0 else 0.0
         )
     return {
         "schema": ADVISE_SCHEMA_VERSION,
         "kernel": canonical["kernel"],
         "params": dict(canonical["params"]),
         "footprint_bytes": int(profile.footprint_bytes),
+        "objective": objective,
         "winner": {
             "platform": ranked[0]["platform"],
             "mode": ranked[0]["mode"],
             "seconds": ranked[0]["seconds"],
+            "energy_j": ranked[0]["energy_j"],
             "speedup_vs_worst": ranked[0]["speedup_vs_worst"],
         },
         "ranked": ranked,

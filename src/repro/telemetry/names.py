@@ -49,6 +49,8 @@ SPAN_SERVE_BATCH = "serve.batch"
 SPAN_SERVE_EXECUTE = "serve.execute"
 #: One advisor engine evaluation (worker side, with-scoped).
 SPAN_SERVE_ADVISE = "serve.advise"
+#: Building one per-level energy ledger from a simulated hierarchy.
+SPAN_POWER_LEDGER = "power.ledger"
 
 #: Every canonical span name (SPAN001 checks literals against this set).
 SPAN_NAMES = frozenset(
@@ -69,6 +71,7 @@ SPAN_NAMES = frozenset(
         SPAN_SERVE_BATCH,
         SPAN_SERVE_EXECUTE,
         SPAN_SERVE_ADVISE,
+        SPAN_POWER_LEDGER,
     }
 )
 
@@ -124,6 +127,11 @@ METRIC_SERVE_RECYCLED = "serve.pool.recycled"
 METRIC_SERVE_REQUEST_WALL_S = "serve.request_wall_s"
 #: Histogram: queries per drained micro-batch.
 METRIC_SERVE_BATCH_SIZE = "serve.batch_size"
+#: Counter: energy ledgers built from simulated hierarchies.
+METRIC_POWER_LEDGERS = "power.ledgers"
+#: Counter: energy-conservation violations detected while building
+#: ledgers (should stay at zero; non-zero means the books do not close).
+METRIC_POWER_CONSERVATION_FAILURES = "power.conservation.failures"
 
 #: Every canonical static metric name.
 METRIC_NAMES = frozenset(
@@ -153,12 +161,14 @@ METRIC_NAMES = frozenset(
         METRIC_SERVE_RECYCLED,
         METRIC_SERVE_REQUEST_WALL_S,
         METRIC_SERVE_BATCH_SIZE,
+        METRIC_POWER_LEDGERS,
+        METRIC_POWER_CONSERVATION_FAILURES,
     }
 )
 
 #: Allowed prefixes for dynamically constructed metric names (built by
 #: the helper functions below; SPAN001 accepts literals under these).
-METRIC_PREFIXES = ("kernel.", "memory.")
+METRIC_PREFIXES = ("kernel.", "memory.", "power.")
 
 
 def kernel_trace_events(kernel: str) -> str:
@@ -174,3 +184,8 @@ def memory_level_prefix(level: str) -> str:
 def memory_cache_prefix(level: str) -> str:
     """``record_counts`` prefix for one level's internal cache counters."""
     return f"memory.{level}.cache"
+
+
+def power_level_prefix(level: str) -> str:
+    """``record_counts`` prefix for one level's priced energy."""
+    return f"power.{level}"

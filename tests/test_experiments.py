@@ -25,6 +25,7 @@ ALL_IDS = [
     "ext5",
     "ext6",
     "ext7",
+    "ext8",
 ]
 
 
@@ -35,7 +36,7 @@ class TestRegistry:
     def test_sort_order_figures_then_tables(self):
         ids = list(all_experiments())
         assert ids[0] == "fig1"
-        assert ids[-1] == "ext7"
+        assert ids[-1] == "ext8"
         assert ids.index("fig30") < ids.index("table2")
         assert ids.index("eq1") < ids.index("ext1")
 
@@ -215,3 +216,20 @@ class TestFigureClaims:
         assert len(t.rows) > 3
         counts = t.column("count")
         assert sum(counts) > 0
+
+    def test_ext8_frontiers_non_degenerate(self, quick_results):
+        t = quick_results["ext8"].table("frontiers")
+        assert len(t.rows) == 8
+        for kernel, _global, _platform, distinct in t.rows:
+            assert distinct >= 2, f"{kernel}: degenerate Pareto frontier"
+
+    def test_ext8_every_config_priced(self, quick_results):
+        t = quick_results["ext8"].table("pareto")
+        assert len(t.rows) == 8 * 6  # 8 kernels x 6 configurations
+        assert all(e > 0 for e in t.column("energy_j"))
+        assert all(s > 0 for s in t.column("seconds"))
+        # Each kernel has at least one point on the global frontier.
+        by_kernel = {}
+        for row in t.rows:
+            by_kernel.setdefault(row[0], []).append(row[8])
+        assert all(sum(flags) >= 1 for flags in by_kernel.values())

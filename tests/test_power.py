@@ -1,10 +1,13 @@
 """Power/energy model and Equation (1)."""
 
+import dataclasses
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.engine import estimate
+from repro.engine.exectime import RunResult
 from repro.kernels import GemmKernel, StreamKernel
 from repro.platforms import McdramMode, broadwell, knl
 from repro.power import (
@@ -61,6 +64,47 @@ class TestPowerSample:
         )
         assert fast.package_w > slow.package_w
 
+    def test_opm_utilization_clamps_at_bandwidth(self):
+        """OPM traffic beyond the link's bandwidth cannot add power."""
+        machine = broadwell(edram=True)
+        base = RunResult(
+            kernel="synthetic",
+            machine=machine.name,
+            seconds=1.0,
+            gflops=0.0,
+            bound="bandwidth",
+            phases=(),
+            opm_bytes=machine.opm.bandwidth * 1e9,  # exactly saturated
+            dram_bytes=0.0,
+        )
+        oversub = dataclasses.replace(base, opm_bytes=base.opm_bytes * 100)
+        at_peak = measure(base, machine, achieved_fraction=0.0)
+        beyond = measure(oversub, machine, achieved_fraction=0.0)
+        assert beyond.package_w == pytest.approx(at_peak.package_w)
+        expected = (
+            machine.base_package_power_w
+            + machine.opm.static_power_w
+            + machine.opm.active_power_w  # utilization clamped to 1.0
+        )
+        assert at_peak.package_w == pytest.approx(expected)
+
+    def test_dram_rate_clamps_at_bandwidth(self):
+        machine = broadwell(edram=False)
+        base = RunResult(
+            kernel="synthetic",
+            machine=machine.name,
+            seconds=1.0,
+            gflops=0.0,
+            bound="bandwidth",
+            phases=(),
+            opm_bytes=0.0,
+            dram_bytes=machine.dram.bandwidth * 1e9,
+        )
+        oversub = dataclasses.replace(base, dram_bytes=base.dram_bytes * 50)
+        assert measure(oversub, machine, opm_powered=False).dram_w == (
+            pytest.approx(measure(base, machine, opm_powered=False).dram_w)
+        )
+
 
 class TestEquationOne:
     def test_breakeven_at_p_equals_w(self):
@@ -102,6 +146,38 @@ class TestEquationOne:
         b = PowerSample("k2", "m", 55.0, 5.0, 1.3)
         with pytest.raises(ValueError):
             compare(a, b)
+
+    def test_compare_rejects_zero_seconds(self):
+        good = PowerSample("k", "m", 60.0, 5.0, 1.0)
+        degenerate = PowerSample("k", "m", 55.0, 5.0, 0.0)
+        with pytest.raises(ValueError, match="seconds"):
+            compare(good, degenerate)
+        with pytest.raises(ValueError, match="seconds"):
+            compare(degenerate, good)
+
+    def test_compare_rejects_zero_power(self):
+        good = PowerSample("k", "m", 60.0, 5.0, 1.0)
+        unpowered = PowerSample("k", "m", 0.0, 0.0, 1.3)
+        with pytest.raises(ValueError, match="power"):
+            compare(good, unpowered)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        pkg_with=st.floats(30.0, 200.0),
+        seconds_with=st.floats(0.1, 10.0),
+        seconds_without=st.floats(0.1, 10.0),
+    )
+    def test_eq1_law_saves_energy_iff_gain_beats_power(
+        self, pkg_with, seconds_with, seconds_without
+    ):
+        """Eq. (1): saves_energy <=> perf_gain > power_increase."""
+        without = PowerSample("k", "m", 60.0, 5.0, seconds_without)
+        with_opm = PowerSample("k", "m", pkg_with, 5.0, seconds_with)
+        cmp = compare(with_opm, without)
+        if abs(cmp.perf_gain - cmp.power_increase) > 1e-9:
+            assert cmp.saves_energy == (
+                cmp.perf_gain > cmp.power_increase
+            )
 
 
 class TestEdp:

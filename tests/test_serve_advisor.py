@@ -13,6 +13,7 @@ class TestNormalize:
         canon = normalize({"kernel": "gemm", "params": {"order": 256}})
         assert canon["params"] == {"order": 256, "tile": 128}
         assert canon["candidates"] == advisor.default_candidates()
+        assert canon["objective"] == "time"
 
     def test_idempotent(self):
         canon = normalize({"kernel": "spmv", "params": {"n_rows": 5000}})
@@ -110,6 +111,14 @@ class TestNormalize:
                 "unknown mode",
             ),
             ({"kernel": "stream", "params": {"n": 8}, "x": 1}, "unknown fields"),
+            (
+                {
+                    "kernel": "stream",
+                    "params": {"n": 8},
+                    "objective": "edp",
+                },
+                "unknown objective",
+            ),
         ],
     )
     def test_rejects(self, payload, fragment):
@@ -169,6 +178,37 @@ class TestEvaluate:
             ("knl", "cache"),
             ("knl", "off"),
         }
+
+    def test_rows_carry_power(self):
+        out = advise({"kernel": "stream", "params": {"n": 1 << 20}})
+        assert out["objective"] == "time"
+        for row in out["ranked"]:
+            assert row["power_w"] > 0
+            assert row["energy_j"] == pytest.approx(
+                row["power_w"] * row["seconds"]
+            )
+        assert out["winner"]["energy_j"] == out["ranked"][0]["energy_j"]
+
+    def test_energy_objective_ranks_by_energy(self):
+        out = advise(
+            {
+                "kernel": "stream",
+                "params": {"n": 1 << 20},
+                "objective": "energy",
+            }
+        )
+        assert out["objective"] == "energy"
+        energies = [r["energy_j"] for r in out["ranked"]]
+        assert energies == sorted(energies)
+        assert out["ranked"][0]["slowdown_vs_best"] == pytest.approx(1.0)
+        assert out["ranked"][-1]["speedup_vs_worst"] == pytest.approx(1.0)
+        assert out["winner"]["energy_j"] == min(energies)
+
+    def test_objective_changes_query_key(self):
+        base = {"kernel": "stream", "params": {"n": 1 << 20}}
+        time_key = query_key(normalize(base))
+        energy_key = query_key(normalize({**base, "objective": "energy"}))
+        assert time_key != energy_key
 
     def test_footprint_positive(self):
         out = advise({"kernel": "spmv", "params": {"n_rows": 2000}})
