@@ -17,7 +17,7 @@ import ast
 from typing import Iterable, Iterator
 
 from repro.audit.engine import Finding, Rule, SourceModule
-from repro.audit.resolve import ImportTable, qualified_name
+from repro.audit.resolve import qualified_name
 
 #: Packages whose outputs feed cached, mode-comparable results.
 SIMULATION_SCOPE = (
@@ -62,7 +62,7 @@ _WALL_CLOCK = frozenset(
 
 
 def _calls(mod: SourceModule) -> Iterator[tuple[ast.Call, str]]:
-    imports = ImportTable(mod.tree, mod.module)
+    imports = mod.imports  # shared per-module table, built once per run
     for node in ast.walk(mod.tree):
         if isinstance(node, ast.Call):
             name = qualified_name(node.func, imports)

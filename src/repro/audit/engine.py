@@ -10,9 +10,19 @@ Two inspection granularities exist because the invariants do:
 
 * ``check_module(mod)`` — runs once per file; enough for rules whose
   evidence is local (an unseeded RNG call, a mis-named span).
-* ``check_project(mods)`` — runs once with every scanned file; needed
-  for rules that follow references across files (worker purity walks
-  the call graph from experiment drivers into the modules they import).
+* ``check_project(mods, ctx)`` — runs once with every scanned file;
+  needed for rules that follow references across files (worker purity
+  and fork-safety walk the call graph from experiment drivers into the
+  modules they import).
+
+Each source file is read and parsed exactly once per run, and the
+expensive derived artifacts are shared: every rule sees the same
+:class:`SourceModule` (one AST, one lazily-built import table, one
+parent map) and project rules share one :class:`ProjectContext` whose
+conservative call graph is built at most once per run no matter how
+many rules walk it. ``run_audit`` returns an :class:`AuditResult` that
+still unpacks as the historical ``(findings, n_files)`` pair but also
+carries per-rule wall-clock timings for ``--stats``.
 
 Suppression is per line: appending ``# audit: ignore[RULE1,RULE2]`` to
 the flagged line silences exactly those rules there (bare
@@ -26,6 +36,7 @@ from __future__ import annotations
 import ast
 import dataclasses
 import re
+import time
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Sequence
 
@@ -71,6 +82,20 @@ class SourceModule:
         self.tree: ast.Module = ast.parse(source, filename=str(path))
         self.suppressions = _parse_suppressions(self.lines)
         self._parents: dict[ast.AST, ast.AST] | None = None
+        self._imports: Any = None
+
+    @property
+    def imports(self) -> Any:
+        """The module's :class:`~repro.audit.resolve.ImportTable`.
+
+        Built on first use and shared by every rule, so N rules never
+        re-scan the import statements N times.
+        """
+        if self._imports is None:
+            from repro.audit.resolve import ImportTable
+
+            self._imports = ImportTable(self.tree, self.module)
+        return self._imports
 
     def parent_map(self) -> dict[ast.AST, ast.AST]:
         """Child node -> parent node for the whole tree (lazily built)."""
@@ -127,7 +152,9 @@ class Rule:
         return ()
 
     def check_project(
-        self, mods: Sequence[SourceModule]
+        self,
+        mods: Sequence[SourceModule],
+        ctx: "ProjectContext | None" = None,
     ) -> Iterable[Finding]:
         return ()
 
@@ -141,6 +168,54 @@ class Rule:
             message=message,
             severity=self.severity,
         )
+
+
+class ProjectContext:
+    """Per-run artifacts shared by every project-scope rule.
+
+    The conservative call graph is the expensive one — building it
+    walks every scanned AST — so it is constructed at most once per
+    audit run, on first request, and handed to each project rule
+    instead of each rule rebuilding its own copy.
+    """
+
+    def __init__(self, mods: Sequence[SourceModule]) -> None:
+        self.mods = mods
+        self._callgraph: Any = None
+
+    def callgraph(self) -> Any:
+        """The worker-reachability :class:`~repro.audit.callgraph.CallGraph`
+        over the run's ``repro``-package modules (built lazily, once)."""
+        if self._callgraph is None:
+            from repro.audit.callgraph import CallGraph
+
+            scoped = [
+                m
+                for m in self.mods
+                if m.module == "repro" or m.module.startswith("repro.")
+            ]
+            self._callgraph = CallGraph(scoped)
+        return self._callgraph
+
+
+@dataclasses.dataclass
+class AuditResult:
+    """What one audit run produced.
+
+    Unpacks as the historical ``(findings, n_files)`` pair so existing
+    callers keep working; ``rule_timings`` maps rule id -> seconds spent
+    in that rule (module passes + project pass) for ``--stats``.
+    """
+
+    findings: list[Finding]
+    n_files: int
+    rule_timings: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.findings, self.n_files))
+
+    def __getitem__(self, index: int) -> Any:
+        return (self.findings, self.n_files)[index]
 
 
 def module_name_for(path: Path) -> str:
@@ -193,8 +268,19 @@ def load_module(path: Path) -> SourceModule | Finding:
 
 
 def default_rules() -> list[Rule]:
-    """One instance of every shipped rule, in rule-id order."""
+    """One instance of every shipped rule, grouped by family."""
+    from repro.audit.asyncrules import (
+        BlockingCallInAsyncRule,
+        ShieldOwnerRule,
+        TaskRetentionRule,
+    )
     from repro.audit.determinism import UnseededRandomRule, WallClockRule
+    from repro.audit.liferules import ForkSharedSinkRule, SpanLifecycleRule
+    from repro.audit.lockrules import (
+        FlockPairRule,
+        SharedCacheMutationRule,
+        StatsWriteRule,
+    )
     from repro.audit.purity import GlobalMutationRule, UnfingerprintedEnvRule
     from repro.audit.registry_rules import RegistryIdRule
     from repro.audit.spanrules import SpanNameRule, SpanWithoutWithRule
@@ -209,6 +295,14 @@ def default_rules() -> list[Rule]:
         UnfingerprintedEnvRule(),
         MixedUnitsRule(),
         RegistryIdRule(),
+        SharedCacheMutationRule(),
+        StatsWriteRule(),
+        FlockPairRule(),
+        BlockingCallInAsyncRule(),
+        ShieldOwnerRule(),
+        TaskRetentionRule(),
+        SpanLifecycleRule(),
+        ForkSharedSinkRule(),
     ]
 
 
@@ -217,9 +311,10 @@ def run_audit(
     *,
     select: Iterable[str] | None = None,
     rules: Sequence[Rule] | None = None,
-) -> tuple[list[Finding], int]:
-    """Audit ``paths``; returns (non-suppressed findings, files scanned).
+) -> AuditResult:
+    """Audit ``paths``; returns an :class:`AuditResult`.
 
+    The result unpacks as ``(non-suppressed findings, files scanned)``.
     ``select`` restricts to the given rule ids; unknown ids raise
     ``ValueError`` (the CLI maps that to exit code 2).
     """
@@ -245,12 +340,16 @@ def run_audit(
             mods.append(loaded)
 
     by_path = {str(m.path): m for m in mods}
+    ctx = ProjectContext(mods)
+    timings: dict[str, float] = {}
     for rule in rules:
+        started = time.perf_counter()
         raw: list[Finding] = []
         for mod in mods:
             if rule.applies_to(mod):
                 raw.extend(rule.check_module(mod))
-        raw.extend(rule.check_project(mods))
+        raw.extend(rule.check_project(mods, ctx))
+        timings[rule.rule_id] = time.perf_counter() - started
         for finding in raw:
             mod = by_path.get(finding.path)
             if mod is not None and mod.suppressed(
@@ -260,6 +359,7 @@ def run_audit(
             findings.append(finding)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule_id, f.message))
-    return findings, len(mods) + sum(
+    n_files = len(mods) + sum(
         1 for f in findings if f.rule_id == PARSE_RULE_ID
     )
+    return AuditResult(findings, n_files, timings)

@@ -1,0 +1,312 @@
+"""LIFE rules: manual span lifecycles close; workers never touch sinks.
+
+PR 6 sanctioned a manual span API — ``Tracer.begin`` / ``finish`` /
+``allocate_id`` — because the scheduler and the serve loop interleave
+many logical operations on one thread, which a ``with``-scoped span
+cannot express. The price of the manual API is that nothing *forces* a
+``begin`` to meet its ``finish``; a dropped span silently truncates the
+trace tree that the replay/provenance tooling keys on. LIFE001 makes
+the pairing a checked invariant again.
+
+* **LIFE001** — a local name bound from a tracer ``begin(...)`` call
+  must, on every non-raising CFG path to the function exit, reach a
+  *closing use*: passed to any call (``finish(sp)``,
+  ``close_task_span(sp, ...)``, a constructor that takes ownership),
+  returned, or stored into an attribute/container. Ownership-transfer
+  forms — ``return tracer.begin(...)``, ``begin`` as a call argument,
+  ``self.x = begin(...)`` — pass without path analysis; a
+  bare-statement ``begin(...)`` is flagged immediately. Path analysis
+  uses the intraprocedural CFG from :mod:`repro.audit.callgraph` with
+  one path-sensitive refinement: an ``if sp is not None:`` guard only
+  follows the non-None arm (after ``begin`` the name cannot be None
+  until rebound). Approximations: exceptional exits are out of scope
+  (only explicit ``raise`` paths), implicit raises from calls are not
+  modelled, and a rebinding ends tracking of the old value.
+* **LIFE002** — functions reachable from worker entry points (the
+  shared conservative call graph) must not touch the fork-shared
+  telemetry sink: no ``attach_sink`` and no ``telemetry.configure``.
+  Workers inherit the parent's tracer state across ``fork``; the one
+  sanctioned pattern is :func:`repro.telemetry.collect.
+  worker_collection`, which swaps in a process-local tracer and ships
+  spans back by value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Sequence
+
+from repro.audit.callgraph import (
+    EXIT,
+    RAISE,
+    CallGraph,
+    Cfg,
+    build_cfg,
+)
+from repro.audit.engine import (
+    Finding,
+    ProjectContext,
+    Rule,
+    SourceModule,
+)
+from repro.audit.resolve import dotted_chain, qualified_name
+
+#: Modules that implement (rather than use) the manual span API.
+_LIFECYCLE_IMPL_MODULES = ("repro.telemetry.spans",)
+
+
+def _is_begin_call(node: ast.Call, mod: SourceModule) -> bool:
+    """A ``<tracer-ish>.begin(...)`` call (incl. ``get_tracer().begin``)."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "begin":
+        return False
+    recv = func.value
+    if isinstance(recv, ast.Call):
+        name = qualified_name(recv.func, mod.imports)
+        return name is not None and (
+            name == "get_tracer" or name.endswith("get_tracer")
+        )
+    chain = dotted_chain(recv)
+    if chain is None:
+        return False
+    return any("tracer" in part.lower() for part in chain)
+
+
+def _name_used_in(tree: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name)
+        and sub.id == name
+        and isinstance(sub.ctx, ast.Load)
+        for sub in ast.walk(tree)
+    )
+
+
+def _evaluated_parts(stmt: ast.stmt) -> list[ast.AST]:
+    """The expressions a CFG node itself evaluates (not its sub-blocks)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    return [stmt]
+
+
+def _closes(stmt: object, name: str) -> bool:
+    """Does executing this CFG node hand ``name`` off or close it?"""
+    if not isinstance(stmt, ast.stmt):
+        return False
+    for part in _evaluated_parts(stmt):
+        for sub in ast.walk(part):
+            if isinstance(sub, ast.Call):
+                for arg in [*sub.args, *[kw.value for kw in sub.keywords]]:
+                    if _name_used_in(arg, name):
+                        return True
+            elif isinstance(sub, ast.Return):
+                if sub.value is not None and _name_used_in(sub.value, name):
+                    return True
+            elif isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ) and _name_used_in(sub.value, name):
+                        return True
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return True  # rebinding ends tracking
+            elif isinstance(sub, ast.Delete):
+                for target in sub.targets:
+                    if isinstance(target, ast.Name) and target.id == name:
+                        return True
+    return False
+
+
+def _none_guard_branch(node: ast.If, name: str) -> str | None:
+    """'body'/'orelse' when the If tests ``name`` against None-ness."""
+    test = node.test
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.left, ast.Name)
+        and test.left.id == name
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    ):
+        if isinstance(test.ops[0], ast.IsNot):
+            return "body"
+        if isinstance(test.ops[0], ast.Is):
+            return "orelse"
+    if isinstance(test, ast.Name) and test.id == name:
+        return "body"
+    if (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and isinstance(test.operand, ast.Name)
+        and test.operand.id == name
+    ):
+        return "orelse"
+    return None
+
+
+def _leaks_to_exit(cfg: Cfg, start: ast.stmt, name: str) -> bool:
+    """Can EXIT be reached from ``start`` without a closing use?"""
+    seen: set[object] = set()
+    work: list[object] = list(cfg.succ.get(start, ()))
+    while work:
+        node = work.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node is RAISE:
+            continue  # non-raising paths only
+        if node is EXIT:
+            return True
+        if _closes(node, name):
+            continue
+        if isinstance(node, ast.If):
+            branch = _none_guard_branch(node, name)
+            if branch is not None:
+                body_entry, orelse_entry = cfg.branches[node]
+                work.append(
+                    body_entry if branch == "body" else orelse_entry
+                )
+                continue
+        work.extend(cfg.succ.get(node, ()))
+    return False
+
+
+class SpanLifecycleRule(Rule):
+    """LIFE001: every manual ``begin`` meets a close on non-raising paths."""
+
+    rule_id = "LIFE001"
+    description = (
+        "a span opened with the manual Tracer.begin API must be "
+        "finished (or ownership handed off: returned, passed to a "
+        "call, stored) on every non-raising control-flow path — a "
+        "dropped span truncates the trace tree replay keys on"
+    )
+    scope = ("repro",)
+
+    def applies_to(self, mod: SourceModule) -> bool:
+        if mod.module.startswith("repro.audit"):
+            return False
+        if mod.module.startswith(_LIFECYCLE_IMPL_MODULES):
+            return False  # the implementation itself
+        return super().applies_to(mod)
+
+    def check_module(self, mod: SourceModule) -> Iterable[Finding]:
+        parents = mod.parent_map()
+        cfgs: dict[ast.AST, Cfg] = {}
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call) or not _is_begin_call(
+                node, mod
+            ):
+                continue
+            parent = parents.get(node)
+            # Ownership-transfer forms need no path analysis.
+            if isinstance(parent, (ast.Return, ast.Await)):
+                continue
+            if isinstance(parent, ast.Call) or (
+                isinstance(parent, ast.keyword)
+            ):
+                continue
+            if isinstance(parent, ast.Expr):
+                yield self.finding(
+                    mod,
+                    node,
+                    "span begun and immediately dropped — bind it and "
+                    "finish it, or use a 'with tracer.span(...)' scope",
+                )
+                continue
+            if not isinstance(parent, ast.Assign):
+                continue  # conservative: unusual forms pass
+            if len(parent.targets) != 1:
+                continue
+            target = parent.targets[0]
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                continue  # escapes into object/container state
+            if not isinstance(target, ast.Name):
+                continue
+            func = self._enclosing_function(parent, parents)
+            if func is None:
+                continue  # module-level begin: out of scope
+            cfg = cfgs.get(func)
+            if cfg is None:
+                cfg = cfgs[func] = build_cfg(func)
+            if _leaks_to_exit(cfg, parent, target.id):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"span bound to '{target.id}' can reach the end of "
+                    f"'{func.name}' without being finished or handed "
+                    "off on at least one non-raising path",
+                )
+
+    @staticmethod
+    def _enclosing_function(
+        node: ast.AST, parents: dict[ast.AST, ast.AST]
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        cur = parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur
+            cur = parents.get(cur)
+        return None
+
+
+class ForkSharedSinkRule(Rule):
+    """LIFE002: worker-reachable code never touches the shared sink."""
+
+    rule_id = "LIFE002"
+    description = (
+        "functions reachable from worker entry points must not touch "
+        "the fork-shared telemetry sink (attach_sink, "
+        "telemetry.configure) — workers inherit parent tracer state "
+        "across fork; use collect.worker_collection, which swaps in a "
+        "process-local tracer and ships spans back by value"
+    )
+    scope = ("repro",)
+
+    _BANNED_QUALIFIED = frozenset(
+        {
+            "repro.telemetry.configure",
+            "telemetry.configure",
+        }
+    )
+
+    def check_project(
+        self,
+        mods: Sequence[SourceModule],
+        ctx: ProjectContext | None = None,
+    ) -> Iterable[Finding]:
+        scoped = [m for m in mods if self.applies_to(m)]
+        if not scoped:
+            return
+        graph = ctx.callgraph() if ctx is not None else CallGraph(scoped)
+        for index, func in graph.reachable_funcs():
+            mod = index.mod
+            if mod.module.startswith("repro.audit"):
+                continue
+            for node in (
+                n for stmt in func.node.body for n in ast.walk(stmt)
+            ):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = qualified_name(node.func, index.imports)
+                if name is None:
+                    continue
+                if name.endswith(".attach_sink") or name == "attach_sink":
+                    label = "attach_sink"
+                elif name in self._BANNED_QUALIFIED:
+                    label = "telemetry.configure"
+                else:
+                    continue
+                yield self.finding(
+                    mod,
+                    node,
+                    f"'{func.qualname}' calls '{label}' on a "
+                    "worker-reachable path — the sink is fork-shared "
+                    "with the parent; collect through "
+                    "collect.worker_collection instead",
+                )

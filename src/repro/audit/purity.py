@@ -12,29 +12,27 @@ silently invalidate that key:
   that changes the result but is not part of the cache key means two
   different results share one key.
 
-These rules build a conservative, name-based call graph over every
-scanned module, seed it with the worker entry points (functions
-registered as experiment drivers via ``@register(...)`` and functions
-submitted to a pool via ``.submit(fn, ...)`` / ``initializer=fn``), and
-flag offending statements in any reachable function. The graph is a
-poor man's race detector: flow-insensitive, no aliasing — but the
-mutations it can see are exactly the ones that break cache-key
-soundness.
+Both rules walk the conservative worker-reachability graph built by
+:mod:`repro.audit.callgraph` — seeded from ``@register(...)`` drivers
+and pool-submitted entry points — and flag offending statements in any
+reachable function. The graph is shared with the LIFE rules through the
+engine's :class:`~repro.audit.engine.ProjectContext`, so one audit run
+builds it once no matter how many rule families consume it.
 """
 
 from __future__ import annotations
 
 import ast
-import dataclasses
 from typing import Iterable, Sequence
 
-from repro.audit.engine import Finding, Rule, SourceModule
-from repro.audit.resolve import (
-    ImportTable,
-    dotted_chain,
-    literal_str,
-    qualified_name,
+from repro.audit.callgraph import CallGraph, FuncInfo, ModuleIndex, local_names
+from repro.audit.engine import (
+    Finding,
+    ProjectContext,
+    Rule,
+    SourceModule,
 )
+from repro.audit.resolve import dotted_chain, literal_str, qualified_name
 
 #: Environment variables the runtime deliberately reads in workers and
 #: treats as part of the experiment's identity (fault injection) or as
@@ -49,228 +47,25 @@ FINGERPRINT_ENV_ALLOWLIST = frozenset(
 )
 
 
-@dataclasses.dataclass
-class _Func:
-    module: str
-    qualname: str  # "fn" or "Class.fn"
-    node: ast.FunctionDef | ast.AsyncFunctionDef
-    cls: str | None
-
-
-class _ModuleIndex:
-    """Functions, module-level names and imports of one module."""
-
-    def __init__(self, mod: SourceModule) -> None:
-        self.mod = mod
-        self.imports = ImportTable(mod.tree, mod.module)
-        self.funcs: dict[str, _Func] = {}
-        self.module_level: set[str] = set()
-        for node in mod.tree.body:
-            self._bind_top(node)
-        for node in mod.tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                self.funcs[node.name] = _Func(
-                    mod.module, node.name, node, None
-                )
-            elif isinstance(node, ast.ClassDef):
-                for item in node.body:
-                    if isinstance(
-                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
-                    ):
-                        qual = f"{node.name}.{item.name}"
-                        self.funcs[qual] = _Func(
-                            mod.module, qual, item, node.name
-                        )
-
-    def _bind_top(self, node: ast.stmt) -> None:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            self.module_level.add(node.name)
-        elif isinstance(node, ast.Assign):
-            for target in node.targets:
-                for name in ast.walk(target):
-                    if isinstance(name, ast.Name):
-                        self.module_level.add(name.id)
-        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
-            if isinstance(node.target, ast.Name):
-                self.module_level.add(node.target.id)
-
-
-class _Project:
-    """Cross-module function index + reachability from worker entries."""
-
-    def __init__(self, mods: Sequence[SourceModule]) -> None:
-        self.indexes: dict[str, _ModuleIndex] = {}
-        for mod in mods:
-            if mod.module:
-                self.indexes[mod.module] = _ModuleIndex(mod)
-        self.reachable = self._reach(self._entries())
-
-    # -- entry points -------------------------------------------------------
-
-    def _entries(self) -> list[tuple[str, str]]:
-        entries: list[tuple[str, str]] = []
-        for module, index in self.indexes.items():
-            for qual, func in index.funcs.items():
-                if self._is_driver(func, index):
-                    entries.append((module, qual))
-            for node in ast.walk(index.mod.tree):
-                if isinstance(node, ast.Call):
-                    entries.extend(self._submitted(node, index))
-        return entries
-
-    def _is_driver(self, func: _Func, index: _ModuleIndex) -> bool:
-        for deco in func.node.decorator_list:
-            target = deco.func if isinstance(deco, ast.Call) else deco
-            name = qualified_name(target, index.imports)
-            if name is not None and (
-                name == "register" or name.endswith(".register")
-            ):
-                return True
-        return False
-
-    def _submitted(
-        self, node: ast.Call, index: _ModuleIndex
-    ) -> list[tuple[str, str]]:
-        refs: list[ast.AST] = []
-        if (
-            isinstance(node.func, ast.Attribute)
-            and node.func.attr == "submit"
-            and node.args
-        ):
-            refs.append(node.args[0])
-        for kw in node.keywords:
-            if kw.arg == "initializer":
-                refs.append(kw.value)
-        out = []
-        for ref in refs:
-            resolved = self._resolve_ref(ref, index)
-            if resolved is not None:
-                out.append(resolved)
-        return out
-
-    # -- call graph ---------------------------------------------------------
-
-    def _resolve_ref(
-        self, node: ast.AST, index: _ModuleIndex
-    ) -> tuple[str, str] | None:
-        """(module, qualname) a Name/Attribute reference points at."""
-        chain = dotted_chain(node)
-        if chain is None:
-            return None
-        if len(chain) == 1:
-            name = chain[0]
-            if name in index.funcs:
-                return index.mod.module, name
-            alias = index.imports.aliases.get(name)
-            if alias and "." in alias:
-                module, _, fn = alias.rpartition(".")
-                target = self.indexes.get(module)
-                if target is not None and fn in target.funcs:
-                    return module, fn
-            return None
-        qual = qualified_name(node, index.imports)
-        if qual is None:
-            return None
-        # Longest scanned-module prefix wins (modules nest).
-        best = None
-        for module in self.indexes:
-            if qual.startswith(module + ".") and (
-                best is None or len(module) > len(best)
-            ):
-                best = module
-        if best is None:
-            return None
-        tail = qual[len(best) + 1 :]
-        if tail in self.indexes[best].funcs:
-            return best, tail
-        return None
-
-    def _edges(self, module: str, qual: str) -> list[tuple[str, str]]:
-        index = self.indexes[module]
-        func = index.funcs[qual]
-        edges: list[tuple[str, str]] = []
-        # Walk the *body* only: the function's own decorators run at
-        # definition (import) time, not when a worker calls it.
-        for node in (
-            n for stmt in func.node.body for n in ast.walk(stmt)
-        ):
-            if not isinstance(node, ast.Call):
-                continue
-            chain = dotted_chain(node.func)
-            if (
-                chain is not None
-                and len(chain) == 2
-                and chain[0] == "self"
-                and func.cls is not None
-            ):
-                method = f"{func.cls}.{chain[1]}"
-                if method in index.funcs:
-                    edges.append((module, method))
-                continue
-            resolved = self._resolve_ref(node.func, index)
-            if resolved is not None:
-                edges.append(resolved)
-        return edges
-
-    def _reach(
-        self, entries: Iterable[tuple[str, str]]
-    ) -> set[tuple[str, str]]:
-        seen: set[tuple[str, str]] = set()
-        stack = [e for e in entries if e[0] in self.indexes]
-        while stack:
-            module, qual = stack.pop()
-            if (module, qual) in seen or qual not in self.indexes[
-                module
-            ].funcs:
-                continue
-            seen.add((module, qual))
-            stack.extend(self._edges(module, qual))
-        return seen
-
-    def reachable_funcs(self) -> Iterable[tuple[_ModuleIndex, _Func]]:
-        for module, qual in sorted(self.reachable):
-            index = self.indexes[module]
-            yield index, index.funcs[qual]
-
-
-def _local_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
-    """Names bound locally (params + stores), minus 'global' declarations."""
-    globals_: set[str] = set()
-    locals_: set[str] = set()
-    args = func.args
-    for a in (
-        *args.posonlyargs,
-        *args.args,
-        *args.kwonlyargs,
-        *([args.vararg] if args.vararg else []),
-        *([args.kwarg] if args.kwarg else []),
-    ):
-        locals_.add(a.arg)
-    for node in ast.walk(func):
-        if isinstance(node, ast.Global):
-            globals_.update(node.names)
-        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
-            locals_.add(node.id)
-    return locals_ - globals_
-
-
 class _PurityProjectRule(Rule):
-    """Shared scaffolding: build the project graph once per audit run."""
+    """Shared scaffolding: walk the run-shared worker-reachability graph."""
 
     scope = ("repro",)
 
     def check_project(
-        self, mods: Sequence[SourceModule]
+        self,
+        mods: Sequence[SourceModule],
+        ctx: ProjectContext | None = None,
     ) -> Iterable[Finding]:
         scoped = [m for m in mods if self.applies_to(m)]
         if not scoped:
             return
-        project = _Project(scoped)
-        for index, func in project.reachable_funcs():
+        graph = ctx.callgraph() if ctx is not None else CallGraph(scoped)
+        for index, func in graph.reachable_funcs():
             yield from self.check_function(index, func)
 
     def check_function(
-        self, index: _ModuleIndex, func: _Func
+        self, index: ModuleIndex, func: FuncInfo
     ) -> Iterable[Finding]:  # pragma: no cover - overridden
         return ()
 
@@ -288,10 +83,10 @@ class GlobalMutationRule(_PurityProjectRule):
     )
 
     def check_function(
-        self, index: _ModuleIndex, func: _Func
+        self, index: ModuleIndex, func: FuncInfo
     ) -> Iterable[Finding]:
         mod = index.mod
-        locals_ = _local_names(func.node)
+        locals_ = local_names(func.node)
         declared_global: set[str] = set()
         for node in ast.walk(func.node):
             if isinstance(node, ast.Global):
@@ -316,8 +111,8 @@ class GlobalMutationRule(_PurityProjectRule):
     def _check_target(
         self,
         mod: SourceModule,
-        index: _ModuleIndex,
-        func: _Func,
+        index: ModuleIndex,
+        func: FuncInfo,
         target: ast.AST,
         locals_: set[str],
     ) -> Iterable[Finding]:
@@ -364,7 +159,7 @@ class UnfingerprintedEnvRule(_PurityProjectRule):
     )
 
     def check_function(
-        self, index: _ModuleIndex, func: _Func
+        self, index: ModuleIndex, func: FuncInfo
     ) -> Iterable[Finding]:
         mod = index.mod
         for node in ast.walk(func.node):

@@ -17,7 +17,7 @@ import re
 from typing import Iterable
 
 from repro.audit.engine import Finding, Rule, SourceModule
-from repro.audit.resolve import ImportTable, qualified_name
+from repro.audit.resolve import qualified_name
 
 _STEM_RE = re.compile(r"^(fig|table|ext|eq)(\d+)_")
 
@@ -44,7 +44,7 @@ class RegistryIdRule(Rule):
         want = expected_id(mod.path.stem)
         if want is None:
             return
-        imports = ImportTable(mod.tree, mod.module)
+        imports = mod.imports
         registered: list[tuple[ast.Call, str | None]] = []
         for node in ast.walk(mod.tree):
             if not isinstance(node, ast.Call):

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 rendering for audit findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems and code-scanning UIs ingest; emitting it lets the
+audit job upload one artifact that review tooling renders inline
+instead of a bespoke JSON document. The renderer is deliberately
+minimal-but-valid: one ``run``, the full rule table (so ``ruleIndex``
+always resolves), and one ``result`` per finding with a physical
+location. Severities map 1:1 onto SARIF levels (``error``/``warning``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.audit.engine import PARSE_RULE_ID, Finding, Rule
+
+#: The schema the document declares; CI validates against it.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _tool_version() -> str:
+    try:
+        import repro
+
+        return str(getattr(repro, "__version__", "0"))
+    except Exception:  # pragma: no cover - import cycles in odd embeds
+        return "0"
+
+
+def _rule_entries(rules: Sequence[Rule]) -> list[dict[str, Any]]:
+    entries = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": rule.severity},
+        }
+        for rule in rules
+    ]
+    entries.append(
+        {
+            "id": PARSE_RULE_ID,
+            "shortDescription": {
+                "text": "file could not be read or parsed"
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+    )
+    return entries
+
+
+def _artifact_uri(path: str) -> str:
+    p = Path(path)
+    try:
+        p = p.relative_to(Path.cwd())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule]
+) -> dict[str, Any]:
+    """The findings as a SARIF 2.1.0 document (a JSON-ready dict)."""
+    rule_entries = _rule_entries(rules)
+    index_of = {entry["id"]: i for i, entry in enumerate(rule_entries)}
+    results = []
+    for finding in findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(finding.path)
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in index_of:
+            result["ruleIndex"] = index_of[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-audit",
+                        "version": _tool_version(),
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

@@ -13,6 +13,16 @@ its context manager exits, so a ``span(...)`` call that is not the
 subject of a ``with`` block (and is not a ``return``-ed wrapper result)
 is a span that never closes — it would leak an entry on the tracer's
 stack and misparent every later span on that thread.
+
+SPAN002 deliberately does **not** police the sanctioned manual
+lifecycle API — ``Tracer.begin`` / ``finish`` / ``allocate_id`` /
+``ingest`` — which the scheduler and serve loop use where many logical
+operations interleave on one thread and a ``with`` scope cannot
+express the span's extent. Manual lifecycles have their own dedicated
+invariant: LIFE001 (:mod:`repro.audit.liferules`) proves each
+``begin`` reaches a ``finish``/ownership-handoff on every non-raising
+control-flow path. No ``# audit: ignore[SPAN002]`` suppressions are
+needed (or present) at manual-lifecycle call sites.
 """
 
 from __future__ import annotations
@@ -28,12 +38,22 @@ _SPAN_CALLERS = ("telemetry.span", "tracer.span")
 _METRIC_ATTRS = ("counter", "gauge", "histogram")
 _NAMES_MODULE = "repro.telemetry.names"
 
+#: The sanctioned manual-lifecycle API (checked by LIFE001, not here).
+MANUAL_LIFECYCLE_ATTRS = frozenset(
+    {"begin", "finish", "allocate_id", "ingest"}
+)
+
 
 def _is_span_call(node: ast.Call, imports: ImportTable) -> bool:
     name = qualified_name(node.func, imports)
     if name is None:
         return False
     if name == f"{_NAMES_MODULE}.span":  # not a thing; guard anyway
+        return False
+    tail = name.rpartition(".")[2]
+    if tail in MANUAL_LIFECYCLE_ATTRS:
+        # tracer.begin(...)/finish(...)/allocate_id() are the manual
+        # lifecycle API, not with-scoped spans; LIFE001 owns them.
         return False
     return name.endswith(".span") or name == "span"
 
@@ -81,7 +101,7 @@ class SpanNameRule(Rule):
             return
         from repro.telemetry import names as tm
 
-        imports = ImportTable(mod.tree, mod.module)
+        imports = mod.imports
         for node in ast.walk(mod.tree):
             if not isinstance(node, ast.Call) or not node.args:
                 continue
@@ -141,14 +161,15 @@ class SpanWithoutWithRule(Rule):
     description = (
         "tracer.span()/telemetry.span() returns a context manager that "
         "only records on exit; opening one outside a 'with' block leaks "
-        "an unclosed span"
+        "an unclosed span (the manual Tracer.begin/finish/allocate_id "
+        "API is sanctioned separately and checked by LIFE001)"
     )
     scope = ("repro",)
 
     def check_module(self, mod: SourceModule) -> Iterable[Finding]:
         if mod.module.startswith("repro.audit"):
             return
-        imports = ImportTable(mod.tree, mod.module)
+        imports = mod.imports
         parents = mod.parent_map()
         for node in ast.walk(mod.tree):
             if not isinstance(node, ast.Call):

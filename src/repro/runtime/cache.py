@@ -417,7 +417,8 @@ class SharedResultCache(ResultCache):
 
     def clear(self) -> int:
         self._hot.clear()
-        return super().clear()
+        with file_lock(self._write_lock_path):
+            return super().clear()
 
     @property
     def hot_entries(self) -> int:

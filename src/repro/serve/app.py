@@ -117,8 +117,14 @@ class ServeApp:
             )
             result = envelope["result"]
             if self.cache is not None:
-                self.cache.put_payload(
-                    key, result, kind=f"serve.{job['kind']}"
+                # Disk write off the loop: put_payload takes the cache
+                # lock file and does file I/O, which would stall every
+                # in-flight request if run inline.
+                await asyncio.to_thread(
+                    self.cache.put_payload,
+                    key,
+                    result,
+                    kind=f"serve.{job['kind']}",
                 )
             return result
 
@@ -132,7 +138,9 @@ class ServeApp:
         """Resolve one query; returns (result, cache tier)."""
         if self.cache is not None:
             before = (self.cache.hot_hits, self.cache.disk_hits)
-            cached = self.cache.get_payload(key)
+            # Disk read off the loop (the hot tier answers from memory,
+            # but a miss there falls through to file I/O).
+            cached = await asyncio.to_thread(self.cache.get_payload, key)
             if cached is not None:
                 tier = (
                     "hot" if self.cache.hot_hits > before[0] else "disk"

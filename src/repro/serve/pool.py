@@ -209,10 +209,11 @@ class ServePool:
         ctx: collect.TraceContext | None,
     ) -> dict[str, Any]:
         if self.jobs == 0:
-            # Inline mode runs synchronously on the loop thread, so the
-            # collection scope's global tracer swap cannot race another
-            # request (nothing else runs while it holds the loop).
-            return _pool_worker(kind, payload, quick, ctx)
+            # Inline mode (tests/debugging) deliberately blocks the loop:
+            # running the worker synchronously is what makes the global
+            # tracer swap race-free (nothing else runs while it holds
+            # the loop), and jobs=0 is never a production configuration.
+            return _pool_worker(kind, payload, quick, ctx)  # audit: ignore[ASYNC001]
         index = self._shard_index(key)
         pool = self._shard(index)
         future = asyncio.wrap_future(

@@ -48,7 +48,7 @@ def rule_ids(findings) -> set[str]:
 # -- engine -------------------------------------------------------------------
 
 
-def test_default_rules_cover_all_eight_ids():
+def test_default_rules_cover_all_shipped_ids():
     assert [r.rule_id for r in default_rules()] == [
         "DET001",
         "DET002",
@@ -58,6 +58,14 @@ def test_default_rules_cover_all_eight_ids():
         "PURE002",
         "UNIT001",
         "REG001",
+        "LOCK001",
+        "LOCK002",
+        "LOCK003",
+        "ASYNC001",
+        "ASYNC002",
+        "ASYNC003",
+        "LIFE001",
+        "LIFE002",
     ]
 
 
